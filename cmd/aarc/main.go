@@ -1,0 +1,211 @@
+// Command aarc runs a resource-configuration search on one of the built-in
+// serverless workflows (or prints its DAG) using AARC or one of the
+// baselines, and reports the chosen per-function configuration, search
+// statistics and a validation run.
+//
+// Usage:
+//
+//	aarc -workload chatbot -method aarc
+//	aarc -workload video-analysis -method bo -seed 7
+//	aarc -workload ml-pipeline -dot           # emit Graphviz DOT and exit
+//	aarc -workload chatbot -trace trace.csv   # dump the sampling trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"aarc/internal/baselines/bo"
+	"aarc/internal/baselines/maff"
+	"aarc/internal/baselines/naive"
+	"aarc/internal/core"
+	"aarc/internal/dag"
+	"aarc/internal/search"
+	"aarc/internal/workflow"
+	"aarc/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aarc: ")
+
+	var (
+		specPath     = flag.String("spec", "", "path to a JSON workflow definition (overrides -workload)")
+		workloadName = flag.String("workload", "chatbot", "workload: chatbot | ml-pipeline | video-analysis")
+		methodName   = flag.String("method", "aarc", "search method: aarc | bo | maff | random | grid")
+		seed         = flag.Uint64("seed", 42, "random seed for the simulator and searcher")
+		hostCores    = flag.Float64("cores", 96, "host CPU capacity shared by concurrent containers")
+		sloMS        = flag.Float64("slo-ms", 0, "override the workload SLO in milliseconds")
+		tracePath    = flag.String("trace", "", "write the sampling trace as CSV to this file")
+		dotOut       = flag.Bool("dot", false, "print the workflow DAG in Graphviz DOT format and exit")
+		validateRuns = flag.Int("validate", 5, "number of validation executions of the chosen config")
+		verbose      = flag.Bool("verbose", false, "print the per-node execution breakdown of a validation run")
+	)
+	flag.Parse()
+
+	spec, err := loadSpec(*specPath, *workloadName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *sloMS > 0 {
+		spec.SLOMS = *sloMS
+	}
+
+	if *dotOut {
+		weights := profileWeights(spec)
+		fmt.Print(dag.DOT(spec.G, weights, nil))
+		return
+	}
+
+	runner, err := workflow.NewRunner(spec, workflow.RunnerOptions{
+		HostCores: *hostCores,
+		Noise:     true,
+		Seed:      *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	searcher, err := buildSearcher(*methodName, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	outcome, err := searcher.Search(runner, spec.SLOMS)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload     : %s (SLO %.0f s, %d functions, %d nodes)\n",
+		spec.Name, spec.SLOMS/1000, len(spec.FunctionGroups()), spec.G.NumNodes())
+	fmt.Printf("method       : %s\n", searcher.Name())
+	fmt.Printf("samples      : %d\n", outcome.Trace.Len())
+	fmt.Printf("search time  : %.1f s (simulated)\n", outcome.Trace.TotalRuntimeMS()/1000)
+	fmt.Printf("search cost  : %.1fk\n", outcome.Trace.TotalCost()/1000)
+	fmt.Println("configuration:")
+	for _, g := range outcome.Best.Keys() {
+		fmt.Printf("  %-12s %s\n", g, outcome.Best[g])
+	}
+
+	if *validateRuns > 0 {
+		var e2es, costs []float64
+		var last search.Result
+		for i := 0; i < *validateRuns; i++ {
+			res, err := runner.Evaluate(outcome.Best)
+			if err != nil {
+				log.Fatal(err)
+			}
+			e2es = append(e2es, res.E2EMS)
+			costs = append(costs, res.Cost)
+			last = res
+		}
+		mean := func(xs []float64) float64 {
+			s := 0.0
+			for _, x := range xs {
+				s += x
+			}
+			return s / float64(len(xs))
+		}
+		me2e, mcost := mean(e2es), mean(costs)
+		status := "compliant"
+		if me2e > spec.SLOMS {
+			status = "VIOLATED"
+		}
+		fmt.Printf("validation   : avg e2e %.1f s over %d runs (%s), avg cost %.1fk\n",
+			me2e/1000, *validateRuns, status, mcost/1000)
+
+		if *verbose {
+			printNodeBreakdown(spec, last)
+		}
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := outcome.Trace.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace        : %s (%d samples)\n", *tracePath, outcome.Trace.Len())
+	}
+}
+
+// loadSpec reads a JSON workflow definition when a path is given, otherwise
+// a built-in workload by name.
+func loadSpec(specPath, workloadName string) (*workflow.Spec, error) {
+	if specPath == "" {
+		return workloads.ByName(workloadName)
+	}
+	f, err := os.Open(specPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return workflow.DecodeSpec(f)
+}
+
+func buildSearcher(name string, seed uint64) (search.Searcher, error) {
+	switch strings.ToLower(name) {
+	case "aarc":
+		return core.New(core.DefaultOptions()), nil
+	case "bo":
+		opts := bo.DefaultOptions()
+		opts.Seed = seed
+		return bo.New(opts), nil
+	case "maff":
+		return maff.New(maff.DefaultOptions()), nil
+	case "random":
+		return &naive.Random{Budget: 100, Seed: seed}, nil
+	case "grid":
+		return &naive.UniformGrid{CPUPoints: 8, MemPoints: 8}, nil
+	default:
+		return nil, fmt.Errorf("unknown method %q (want aarc, bo, maff, random or grid)", name)
+	}
+}
+
+// printNodeBreakdown renders one execution's per-node timeline in topo
+// order: start/finish on the simulated clock, billed duration, cold-start
+// share, configuration and cost.
+func printNodeBreakdown(spec *workflow.Spec, res search.Result) {
+	topo, err := spec.G.TopoSort()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-node breakdown (last validation run):")
+	fmt.Printf("  %-14s %-10s %9s %9s %9s %7s %10s %s\n",
+		"node", "group", "start_s", "finish_s", "dur_s", "cold_s", "cost_k", "config")
+	for _, id := range topo {
+		nr := res.Nodes[id]
+		if nr.Skipped {
+			fmt.Printf("  %-14s %-10s %9s %9s %9s %7s %10s %s\n",
+				id, nr.Group, "-", "-", "-", "-", "-", "skipped")
+			continue
+		}
+		flag := ""
+		if nr.OOM {
+			flag = "  OOM"
+		}
+		fmt.Printf("  %-14s %-10s %9.2f %9.2f %9.2f %7.2f %10.1f %s%s\n",
+			id, nr.Group, nr.StartMS/1000, nr.FinishMS/1000, nr.RuntimeMS/1000,
+			nr.ColdStartMS/1000, nr.Cost/1000, nr.Config, flag)
+	}
+}
+
+// profileWeights labels DAG nodes with their noise-free base-config runtime.
+func profileWeights(spec *workflow.Spec) map[string]float64 {
+	w := make(map[string]float64, spec.G.NumNodes())
+	for _, id := range spec.G.Nodes() {
+		p := spec.Profiles[id]
+		cfg := spec.Base[spec.GroupOf(id)]
+		t, err := p.MeanRuntime(cfg, 1)
+		if err == nil {
+			w[id] = t
+		}
+	}
+	return w
+}

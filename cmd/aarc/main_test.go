@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildSearcher(t *testing.T) {
+	for name, want := range map[string]string{
+		"aarc":   "AARC",
+		"AARC":   "AARC",
+		"bo":     "BO",
+		"maff":   "MAFF",
+		"random": "Random",
+		"grid":   "UniformGrid",
+	} {
+		s, err := buildSearcher(name, 1)
+		if err != nil {
+			t.Fatalf("buildSearcher(%q): %v", name, err)
+		}
+		if s.Name() != want {
+			t.Errorf("buildSearcher(%q).Name() = %s, want %s", name, s.Name(), want)
+		}
+	}
+	if _, err := buildSearcher("nope", 1); err == nil {
+		t.Error("unknown method should error")
+	}
+}
+
+func TestLoadSpecBuiltin(t *testing.T) {
+	spec, err := loadSpec("", "chatbot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "chatbot" {
+		t.Errorf("spec = %s", spec.Name)
+	}
+	if _, err := loadSpec("", "nope"); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestLoadSpecJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wf.json")
+	content := `{
+	  "name": "tiny",
+	  "slo_ms": 60000,
+	  "nodes": [
+	    {"id": "a", "profile": {"cpu_work_ms": 1000, "parallel_frac": 0, "footprint_mb": 256, "min_mem_mb": 128}},
+	    {"id": "b", "profile": {"cpu_work_ms": 2000, "parallel_frac": 0.5, "footprint_mb": 256, "min_mem_mb": 128}}
+	  ],
+	  "edges": [["a","b"]],
+	  "base": {"cpu": 2, "mem_mb": 1024}
+	}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := loadSpec(path, "ignored")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "tiny" || spec.G.NumNodes() != 2 {
+		t.Errorf("loaded spec: %s, %d nodes", spec.Name, spec.G.NumNodes())
+	}
+	if _, err := loadSpec(filepath.Join(dir, "missing.json"), ""); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := loadSpec(bad, ""); err == nil {
+		t.Error("malformed JSON should error")
+	}
+}
+
+func TestLoadShippedExampleSpec(t *testing.T) {
+	spec, err := loadSpec("../../examples/specs/loganalytics.json", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "log-analytics" || spec.G.NumNodes() != 7 {
+		t.Errorf("spec = %s with %d nodes", spec.Name, spec.G.NumNodes())
+	}
+	if spec.GroupOf("index_2") != "index" {
+		t.Error("scatter group mapping lost")
+	}
+}
+
+func TestProfileWeights(t *testing.T) {
+	spec, err := loadSpec("", "chatbot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := profileWeights(spec)
+	if len(w) != spec.G.NumNodes() {
+		t.Errorf("weights for %d nodes, want %d", len(w), spec.G.NumNodes())
+	}
+	for id, v := range w {
+		if v <= 0 {
+			t.Errorf("node %s weight %v", id, v)
+		}
+		if strings.TrimSpace(id) == "" {
+			t.Error("empty node id")
+		}
+	}
+}

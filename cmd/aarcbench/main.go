@@ -1,0 +1,164 @@
+// Command aarcbench regenerates every table and figure of the paper's
+// evaluation from the simulated testbed:
+//
+//	aarcbench fig2       # §II-A decoupled runtime/cost heatmaps
+//	aarcbench fig3       # §II-B BO instability probe on Chatbot
+//	aarcbench fig5       # total sampling runtime and cost per method
+//	aarcbench fig6       # runtime trajectories per sample count
+//	aarcbench fig7       # cost trajectories per sample count
+//	aarcbench table2     # avg runtime ± std and cost of the final configs
+//	aarcbench fig8       # §IV-D input-aware configuration on Video Analysis
+//	aarcbench ablation   # AARC design-choice ablations (extension)
+//	aarcbench motivation # §I industry-scheme cost comparison (extension)
+//	aarcbench scale      # search effort vs workflow size (extension)
+//	aarcbench all        # everything above, in paper order
+//
+// Use -seed to change the deterministic seed shared by the simulator and
+// the searchers, and -csv DIR to additionally write each experiment's data
+// as DIR/<name>.csv for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"aarc/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aarcbench: ")
+
+	seed := flag.Uint64("seed", 42, "deterministic seed for simulator and searchers")
+	csvDir := flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: aarcbench [-seed N] [-csv DIR] <fig2|fig3|fig5|fig6|fig7|fig8|table2|ablation|motivation|scale|all>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if err := run(flag.Arg(0), *seed, *csvDir); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// renderable is what every experiment result offers: a human-readable
+// rendering and a CSV form.
+type renderable interface {
+	Render(io.Writer)
+	WriteCSV(io.Writer) error
+}
+
+func run(name string, seed uint64, csvDir string) error {
+	suite := experiments.NewSuite(seed)
+	return runWith(name, seed, csvDir, suite)
+}
+
+func runWith(name string, seed uint64, csvDir string, suite *experiments.Suite) error {
+	emit := func(name string, r renderable) error {
+		r.Render(os.Stdout)
+		if csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(csvDir, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := r.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", path)
+		return nil
+	}
+
+	switch name {
+	case "fig2":
+		results, err := experiments.RunFig2All()
+		if err != nil {
+			return err
+		}
+		for i, r := range results {
+			if err := emit(fmt.Sprintf("fig2_%s", experiments.Workloads()[i]), r); err != nil {
+				return err
+			}
+		}
+	case "fig3":
+		r, err := experiments.RunFig3(seed)
+		if err != nil {
+			return err
+		}
+		return emit("fig3", r)
+	case "fig5":
+		r, err := experiments.RunFig5(suite)
+		if err != nil {
+			return err
+		}
+		return emit("fig5", r)
+	case "fig6":
+		r, err := experiments.RunFig6(suite)
+		if err != nil {
+			return err
+		}
+		return emit("fig6", r)
+	case "fig7":
+		r, err := experiments.RunFig7(suite)
+		if err != nil {
+			return err
+		}
+		return emit("fig7", r)
+	case "table2":
+		r, err := experiments.RunTable2(suite)
+		if err != nil {
+			return err
+		}
+		return emit("table2", r)
+	case "fig8":
+		r, err := experiments.RunFig8(seed)
+		if err != nil {
+			return err
+		}
+		return emit("fig8", r)
+	case "ablation":
+		r, err := experiments.RunAblation(seed)
+		if err != nil {
+			return err
+		}
+		return emit("ablation", r)
+	case "motivation":
+		r, err := experiments.RunMotivation()
+		if err != nil {
+			return err
+		}
+		return emit("motivation", r)
+	case "scale":
+		r, err := experiments.RunScale(seed)
+		if err != nil {
+			return err
+		}
+		return emit("scale", r)
+	case "all":
+		for _, n := range []string{"motivation", "fig2", "fig3", "fig5", "fig6", "fig7", "table2", "fig8", "ablation", "scale"} {
+			// Share one suite so fig5/6/7/table2 reuse the same searches,
+			// exactly like the paper derives them from the same runs.
+			if err := runWith(n, seed, csvDir, suite); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunKnownExperiments exercises the dispatch for every experiment name.
+// Output goes to stdout (the experiments are deterministic and fast on the
+// simulator); what we assert here is that each name resolves and completes.
+func TestRunKnownExperiments(t *testing.T) {
+	for _, name := range []string{"fig2", "fig3", "fig5", "fig6", "fig7", "table2", "fig8", "ablation", "motivation"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if err := run(name, 7, ""); err != nil {
+				t.Fatalf("run(%q): %v", name, err)
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", 7, ""); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig5", 7, dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fig5.csv")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("expected CSV at %s: %v", path, err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 9 cells (3 workloads x 3 methods).
+	if len(rows) != 10 {
+		t.Errorf("fig5.csv rows = %d, want 10", len(rows))
+	}
+	if rows[0][0] != "workload" {
+		t.Errorf("header = %v", rows[0])
+	}
+}
+
+func TestRunFig2CSVPerWorkload(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig2", 7, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"chatbot", "ml-pipeline", "video-analysis"} {
+		if _, err := os.Stat(filepath.Join(dir, "fig2_"+w+".csv")); err != nil {
+			t.Errorf("missing fig2 CSV for %s: %v", w, err)
+		}
+	}
+}

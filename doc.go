@@ -1,0 +1,24 @@
+// Package aarc is a from-scratch Go reproduction of "AARC: Automated
+// Affinity-aware Resource Configuration for Serverless Workflows" (DAC
+// 2025): decoupled CPU/memory configuration search for serverless workflow
+// DAGs under end-to-end latency SLOs, with the paper's baselines (Bayesian
+// optimization and MAFF gradient descent), a simulated serverless platform
+// substrate, the three evaluation workloads, and a harness regenerating
+// every table and figure of the paper's evaluation.
+//
+// Start with the examples:
+//
+//	go run ./examples/quickstart
+//	go run ./examples/searchcomparison
+//	go run ./examples/inputaware
+//	go run ./examples/customworkflow
+//
+// and the experiment harness:
+//
+//	go run ./cmd/aarcbench all
+//
+// The implementation lives in internal/: internal/core is the paper's
+// contribution (Graph-Centric Scheduler + Priority Configurator); the other
+// packages are the substrates it runs on. See DESIGN.md for the full system
+// inventory and EXPERIMENTS.md for paper-versus-measured results.
+package aarc

@@ -1,0 +1,131 @@
+// Command customworkflow shows how a developer brings their own workflow to
+// AARC: define the DAG and per-function performance profiles in code (or
+// load the same structure from JSON via workflow.DecodeSpec), hand it to the
+// Graph-Centric Scheduler with an end-to-end SLO, and receive a decoupled
+// per-function configuration.
+//
+// The example models a log-analytics pipeline:
+//
+//	ingest → parse → {index | aggregate → alert} → publish
+//
+// where parse fans into an indexing branch and an aggregation branch that
+// rejoin at publish.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"aarc/internal/core"
+	"aarc/internal/dag"
+	"aarc/internal/perfmodel"
+	"aarc/internal/resources"
+	"aarc/internal/workflow"
+)
+
+func buildSpec() *workflow.Spec {
+	g := dag.New()
+	for _, id := range []string{"ingest", "parse", "index", "aggregate", "alert", "publish"} {
+		g.MustAddNode(id)
+	}
+	g.MustAddEdge("ingest", "parse")
+	g.MustAddEdge("parse", "index")
+	g.MustAddEdge("parse", "aggregate")
+	g.MustAddEdge("aggregate", "alert")
+	g.MustAddEdge("index", "publish")
+	g.MustAddEdge("alert", "publish")
+
+	profiles := map[string]perfmodel.Profile{
+		"ingest": {Name: "ingest", CPUWorkMS: 2000, ParallelFrac: 0.2, MaxParallel: 2, IOMS: 3000,
+			FootprintMB: 512, MinMemMB: 256, PressureK: 1, NoiseStd: 0.02},
+		"parse": {Name: "parse", CPUWorkMS: 15_000, ParallelFrac: 0.7, MaxParallel: 8, IOMS: 1000,
+			FootprintMB: 1024, MinMemMB: 512, PressureK: 1.5, NoiseStd: 0.02},
+		"index": {Name: "index", CPUWorkMS: 10_000, ParallelFrac: 0.5, MaxParallel: 4, IOMS: 4000,
+			FootprintMB: 2048, MinMemMB: 1024, PressureK: 2, NoiseStd: 0.02},
+		"aggregate": {Name: "aggregate", CPUWorkMS: 25_000, ParallelFrac: 0.8, MaxParallel: 8, IOMS: 1000,
+			FootprintMB: 1024, MinMemMB: 512, PressureK: 1, NoiseStd: 0.02},
+		"alert": {Name: "alert", CPUWorkMS: 1000, ParallelFrac: 0, IOMS: 1500,
+			FootprintMB: 256, MinMemMB: 128, PressureK: 1, NoiseStd: 0.02},
+		"publish": {Name: "publish", CPUWorkMS: 1500, ParallelFrac: 0, IOMS: 2000,
+			FootprintMB: 256, MinMemMB: 128, PressureK: 1, NoiseStd: 0.02},
+	}
+
+	spec := &workflow.Spec{
+		Name:     "log-analytics",
+		G:        g,
+		Profiles: profiles,
+		SLOMS:    90_000,
+		Limits:   resources.DefaultLimits(),
+	}
+	spec.Base = resources.Uniform(spec.FunctionGroups(), resources.Config{CPU: 4, MemMB: 4096})
+	return spec
+}
+
+func main() {
+	log.SetFlags(0)
+	spec := buildSpec()
+	if err := spec.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The same definition can be shipped as JSON (see -spec in cmd/aarc).
+	fmt.Println("JSON form of this workflow (truncated):")
+	enc := &truncWriter{limit: 400}
+	if err := workflow.EncodeSpec(enc, spec); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s...\n\n", enc.buf)
+
+	runner, err := workflow.NewRunner(spec, workflow.RunnerOptions{
+		HostCores: 96, Noise: true, Seed: 21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base, err := runner.Evaluate(spec.Base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("base config   : %s everywhere\n", spec.Base[spec.FunctionGroups()[0]])
+	fmt.Printf("base execution: e2e %.1f s, cost %.1fk (SLO %.0f s)\n\n",
+		base.E2EMS/1000, base.Cost/1000, spec.SLOMS/1000)
+
+	outcome, err := core.New(core.DefaultOptions()).Search(runner, spec.SLOMS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AARC search   : %d samples, %.0f s simulated\n",
+		outcome.Trace.Len(), outcome.Trace.TotalRuntimeMS()/1000)
+	for _, g := range outcome.Best.Keys() {
+		fmt.Printf("  %-10s %s\n", g, outcome.Best[g])
+	}
+
+	final, err := runner.Evaluate(outcome.Best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconfigured    : e2e %.1f s, cost %.1fk (%.1f%% cheaper than base)\n",
+		final.E2EMS/1000, final.Cost/1000, (base.Cost-final.Cost)/base.Cost*100)
+	if final.E2EMS > spec.SLOMS {
+		fmt.Fprintln(os.Stderr, "warning: SLO violated")
+		os.Exit(1)
+	}
+}
+
+// truncWriter captures up to limit bytes and discards the rest.
+type truncWriter struct {
+	buf   []byte
+	limit int
+}
+
+func (w *truncWriter) Write(p []byte) (int, error) {
+	if room := w.limit - len(w.buf); room > 0 {
+		if room > len(p) {
+			room = len(p)
+		}
+		w.buf = append(w.buf, p[:room]...)
+	}
+	return len(p), nil
+}

@@ -1,0 +1,55 @@
+// Command quickstart shows the minimal AARC flow: load a built-in workflow,
+// run the AARC search against its SLO, and print the per-function decoupled
+// configuration it selects together with the search statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aarc/internal/core"
+	"aarc/internal/workflow"
+	"aarc/internal/workloads"
+)
+
+func main() {
+	spec := workloads.Chatbot()
+	runner, err := workflow.NewRunner(spec, workflow.RunnerOptions{
+		HostCores: 96,
+		Noise:     true,
+		Seed:      42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	searcher := core.New(core.DefaultOptions())
+	outcome, err := searcher.Search(runner, spec.SLOMS)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workflow   : %s (SLO %.0f s)\n", spec.Name, spec.SLOMS/1000)
+	fmt.Printf("samples    : %d\n", outcome.Trace.Len())
+	fmt.Printf("search time: %.1f s (simulated)\n", outcome.Trace.TotalRuntimeMS()/1000)
+	fmt.Printf("search cost: %.1fk\n", outcome.Trace.TotalCost()/1000)
+	fmt.Println("chosen configuration:")
+	for _, g := range outcome.Best.Keys() {
+		fmt.Printf("  %-10s %s\n", g, outcome.Best[g])
+	}
+
+	// Validate the chosen configuration with a fresh execution.
+	res, err := runner.Evaluate(outcome.Best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("validation : e2e %.1f s (SLO %.0f s, %s), cost %.1fk\n",
+		res.E2EMS/1000, spec.SLOMS/1000, compliance(res.E2EMS, spec.SLOMS), res.Cost/1000)
+}
+
+func compliance(e2e, slo float64) string {
+	if e2e <= slo {
+		return "compliant"
+	}
+	return "VIOLATED"
+}

@@ -1,0 +1,258 @@
+package bo
+
+import (
+	"math"
+	"testing"
+
+	"aarc/internal/resources"
+	"aarc/internal/search"
+	"aarc/internal/testutil"
+)
+
+func TestGPFitErrors(t *testing.T) {
+	g := newGP(0.2, 1, 1e-4)
+	if err := g.fit(nil, nil); err == nil {
+		t.Error("empty fit should error")
+	}
+	if err := g.fit([][]float64{{0.1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, _, err := newGP(0.2, 1, 1e-4).predict([]float64{0}); err == nil {
+		t.Error("predict before fit should error")
+	}
+}
+
+func TestGPInterpolatesTrainingPoints(t *testing.T) {
+	g := newGP(0.3, 1, 1e-6)
+	xs := [][]float64{{0.1}, {0.4}, {0.9}}
+	ys := []float64{3, -1, 5}
+	if err := g.fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		mu, sd, err := g.predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mu-ys[i]) > 0.05 {
+			t.Errorf("GP at training point %v: mu=%v want %v", x, mu, ys[i])
+		}
+		if sd > 0.2 {
+			t.Errorf("GP sd at training point should be small: %v", sd)
+		}
+	}
+	// Far away the posterior reverts toward the mean with high variance.
+	_, sdFar, _ := g.predict([]float64{-5})
+	if sdFar < 0.5 {
+		t.Errorf("far-field sd should be large: %v", sdFar)
+	}
+}
+
+func TestGPHandlesDuplicatePoints(t *testing.T) {
+	g := newGP(0.3, 1, 1e-9)
+	xs := [][]float64{{0.5}, {0.5}, {0.5}}
+	ys := []float64{1, 1.1, 0.9}
+	if err := g.fit(xs, ys); err != nil {
+		t.Fatalf("duplicated points must not break Cholesky: %v", err)
+	}
+	mu, _, err := g.predict([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mu-1.0) > 0.1 {
+		t.Errorf("duplicate-point posterior mean = %v, want ~1", mu)
+	}
+}
+
+func TestGPConstantTargets(t *testing.T) {
+	g := newGP(0.3, 1, 1e-6)
+	if err := g.fit([][]float64{{0.1}, {0.9}}, []float64{4, 4}); err != nil {
+		t.Fatalf("constant targets (zero variance) must fit: %v", err)
+	}
+	mu, _, _ := g.predict([]float64{0.5})
+	if math.Abs(mu-4) > 0.5 {
+		t.Errorf("constant-target prediction = %v", mu)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	lim := resources.DefaultLimits()
+	groups := []string{"a", "b"}
+	a := resources.Assignment{
+		"a": {CPU: 2.5, MemMB: 1024},
+		"b": {CPU: 7.0, MemMB: 4096},
+	}
+	x := encode(groups, lim, a)
+	if len(x) != 4 {
+		t.Fatalf("encode dim = %d", len(x))
+	}
+	back := decode(groups, lim, x)
+	for _, g := range groups {
+		if math.Abs(back[g].CPU-a[g].CPU) > lim.CPUStep/2 ||
+			math.Abs(back[g].MemMB-a[g].MemMB) > lim.MemStepMB/2 {
+			t.Errorf("round trip %s: %v -> %v", g, a[g], back[g])
+		}
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.normalize()
+	d := DefaultOptions()
+	if o.Budget != d.Budget || o.InitSamples != d.InitSamples || o.Candidates != d.Candidates {
+		t.Errorf("normalize = %+v", o)
+	}
+	small := Options{Budget: 3, InitSamples: 10}.normalize()
+	if small.InitSamples != 3 {
+		t.Errorf("InitSamples should cap at Budget: %+v", small)
+	}
+}
+
+func TestSearchBudgetAndValidity(t *testing.T) {
+	spec := testutil.ChainSpec(60_000)
+	runner := testutil.NewRunner(t, spec, true, 2)
+	opts := DefaultOptions()
+	opts.Budget = 25
+	opts.InitSamples = 5
+	opts.Candidates = 64
+	opts.Seed = 2
+	outcome, err := New(opts).Search(runner, spec.SLOMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Trace.Len() != 25 {
+		t.Errorf("trace len = %d, want exactly the budget", outcome.Trace.Len())
+	}
+	if err := search.ValidateAssignment(runner, outcome.Best); err != nil {
+		t.Fatalf("BO returned invalid assignment: %v", err)
+	}
+	res, err := runner.Evaluate(outcome.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.E2EMS > spec.SLOMS*1.1 {
+		t.Errorf("BO best config grossly violates SLO: %v", res.E2EMS)
+	}
+}
+
+func TestSearchImprovesOverWorstCase(t *testing.T) {
+	spec := testutil.ChainSpec(60_000)
+	runner := testutil.NewRunner(t, spec, true, 3)
+	opts := DefaultOptions()
+	opts.Budget = 40
+	opts.Seed = 3
+	outcome, err := New(opts).Search(runner, spec.SLOMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chosen config should be at least as cheap as the base sample.
+	baseCost := outcome.Trace.Samples[0].Cost
+	res, _ := runner.Evaluate(outcome.Best)
+	if res.Cost > baseCost {
+		t.Errorf("BO best (%.0f) worse than base (%.0f)", res.Cost, baseCost)
+	}
+}
+
+func TestSearchBadSLO(t *testing.T) {
+	spec := testutil.ChainSpec(60_000)
+	runner := testutil.NewRunner(t, spec, true, 2)
+	if _, err := New(DefaultOptions()).Search(runner, -5); err == nil {
+		t.Error("negative SLO should error")
+	}
+}
+
+func TestConstrainedModeRuns(t *testing.T) {
+	spec := testutil.ChainSpec(60_000)
+	runner := testutil.NewRunner(t, spec, true, 4)
+	opts := DefaultOptions()
+	opts.Budget = 20
+	opts.Constrained = true
+	opts.Seed = 4
+	outcome, err := New(opts).Search(runner, spec.SLOMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Trace.Len() != 20 {
+		t.Errorf("constrained trace len = %d", outcome.Trace.Len())
+	}
+}
+
+func TestSearchDeterministicPerSeed(t *testing.T) {
+	run := func() (float64, int) {
+		spec := testutil.ChainSpec(60_000)
+		runner := testutil.NewRunner(t, spec, true, 9)
+		opts := DefaultOptions()
+		opts.Budget = 15
+		opts.Seed = 9
+		outcome, err := New(opts).Search(runner, spec.SLOMS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome.Trace.TotalCost(), outcome.Trace.Len()
+	}
+	c1, n1 := run()
+	c2, n2 := run()
+	if c1 != c2 || n1 != n2 {
+		t.Error("same seed should reproduce the identical search")
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(DefaultOptions()).Name() != "BO" {
+		t.Error("Name should be BO")
+	}
+}
+
+func TestLogMarginalLikelihood(t *testing.T) {
+	g := newGP(0.3, 1, 1e-4)
+	if _, err := g.logMarginalLikelihood(); err == nil {
+		t.Error("LML before fit should error")
+	}
+	xs := [][]float64{{0.1}, {0.5}, {0.9}}
+	if err := g.fit(xs, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	lml, err := g.logMarginalLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(lml) || math.IsInf(lml, 0) {
+		t.Errorf("LML = %v", lml)
+	}
+}
+
+func TestFitBestPrefersExplainingScale(t *testing.T) {
+	// Smooth data: a long length scale should win over a tiny one.
+	xs := make([][]float64, 9)
+	ys := make([]float64, 9)
+	for i := range xs {
+		v := float64(i) / 8
+		xs[i] = []float64{v}
+		ys[i] = v * v
+	}
+	g, err := fitBest(xs, ys, []float64{0.01, 0.5}, 1, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.lenScl != 0.5 {
+		t.Errorf("selected length scale %v, want 0.5 for smooth data", g.lenScl)
+	}
+	if _, err := fitBest(nil, nil, []float64{0.1}, 1, 1e-4); err == nil {
+		t.Error("empty data should error")
+	}
+}
+
+func TestFitHyperparamsMode(t *testing.T) {
+	spec := testutil.ChainSpec(60_000)
+	runner := testutil.NewRunner(t, spec, true, 6)
+	opts := DefaultOptions()
+	opts.Budget = 20
+	opts.FitHyperparams = true
+	opts.Seed = 6
+	outcome, err := New(opts).Search(runner, spec.SLOMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Trace.Len() != 20 {
+		t.Errorf("trace len = %d", outcome.Trace.Len())
+	}
+}

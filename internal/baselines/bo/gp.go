@@ -1,0 +1,169 @@
+// Package bo implements the Bayesian-optimization baseline (after Bilal et
+// al., EuroSys'23, extended to workflows as in §II-B of the AARC paper):
+// Gaussian-process surrogates over the normalized decoupled configuration
+// space with a constrained expected-improvement acquisition — EI on cost
+// multiplied by the probability of satisfying the latency SLO, both
+// estimated by independent GPs.
+package bo
+
+import (
+	"errors"
+	"math"
+
+	"aarc/internal/mathx"
+)
+
+// gp is a Gaussian-process regressor with a squared-exponential kernel over
+// [0,1]^d inputs. Targets are standardized internally.
+type gp struct {
+	x       [][]float64
+	y       []float64 // standardized targets
+	yMean   float64
+	yStd    float64
+	lenScl  float64
+	sigF2   float64 // signal variance
+	noise   float64 // observation noise variance (jitter included)
+	chol    *mathx.Matrix
+	alpha   []float64
+	trained bool
+}
+
+// newGP builds an untrained GP with the given hyperparameters.
+func newGP(lengthScale, signalVar, noiseVar float64) *gp {
+	return &gp{lenScl: lengthScale, sigF2: signalVar, noise: noiseVar}
+}
+
+// kernel evaluates the squared-exponential covariance of two points.
+func (g *gp) kernel(a, b []float64) float64 {
+	r2 := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		r2 += d * d
+	}
+	return g.sigF2 * math.Exp(-r2/(2*g.lenScl*g.lenScl))
+}
+
+// fit trains the GP on the given observations (inputs in [0,1]^d).
+func (g *gp) fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("bo: fit needs matching, non-empty x and y")
+	}
+	n := len(x)
+	g.x = x
+
+	// Standardize targets for numerical stability.
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(n)
+	varsum := 0.0
+	for _, v := range y {
+		d := v - mean
+		varsum += d * d
+	}
+	std := math.Sqrt(varsum / float64(n))
+	if std < 1e-12 {
+		std = 1
+	}
+	g.yMean, g.yStd = mean, std
+	g.y = make([]float64, n)
+	for i, v := range y {
+		g.y[i] = (v - mean) / std
+	}
+
+	k := mathx.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.kernel(x[i], x[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	k.AddDiag(g.noise + 1e-8)
+
+	chol, err := mathx.Cholesky(k)
+	if err != nil {
+		// Ill-conditioned kernel matrix (e.g. duplicated samples): retry
+		// with a heavier jitter before giving up.
+		k.AddDiag(1e-4)
+		chol, err = mathx.Cholesky(k)
+		if err != nil {
+			return err
+		}
+	}
+	g.chol = chol
+	g.alpha, err = mathx.CholSolve(chol, g.y)
+	if err != nil {
+		return err
+	}
+	g.trained = true
+	return nil
+}
+
+// logMarginalLikelihood returns the log marginal likelihood of the training
+// data under the fitted GP: −½ yᵀK⁻¹y − ½ log|K| − n/2·log 2π (standardized
+// target units).
+func (g *gp) logMarginalLikelihood() (float64, error) {
+	if !g.trained {
+		return 0, errors.New("bo: logMarginalLikelihood before fit")
+	}
+	n := float64(len(g.y))
+	return -0.5*mathx.Dot(g.y, g.alpha) - 0.5*mathx.LogDet(g.chol) - 0.5*n*math.Log(2*math.Pi), nil
+}
+
+// fitBest fits GPs over the candidate length scales and keeps the one with
+// the highest log marginal likelihood (type-II maximum likelihood over a
+// small grid — the standard lightweight hyperparameter treatment).
+func fitBest(x [][]float64, y []float64, lengthScales []float64, signalVar, noiseVar float64) (*gp, error) {
+	var best *gp
+	bestLML := math.Inf(-1)
+	var firstErr error
+	for _, ls := range lengthScales {
+		g := newGP(ls, signalVar, noiseVar)
+		if err := g.fit(x, y); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		lml, err := g.logMarginalLikelihood()
+		if err != nil {
+			continue
+		}
+		if lml > bestLML {
+			bestLML = lml
+			best = g
+		}
+	}
+	if best == nil {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, errors.New("bo: no length scale produced a valid fit")
+	}
+	return best, nil
+}
+
+// predict returns the posterior mean and standard deviation at x, in the
+// original target units.
+func (g *gp) predict(x []float64) (mu, sigma float64, err error) {
+	if !g.trained {
+		return 0, 0, errors.New("bo: predict before fit")
+	}
+	n := len(g.x)
+	ks := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ks[i] = g.kernel(x, g.x[i])
+	}
+	muStd := mathx.Dot(ks, g.alpha)
+	v, err := mathx.SolveLower(g.chol, ks)
+	if err != nil {
+		return 0, 0, err
+	}
+	var2 := g.kernel(x, x) - mathx.Dot(v, v)
+	if var2 < 0 {
+		var2 = 0
+	}
+	return muStd*g.yStd + g.yMean, math.Sqrt(var2) * g.yStd, nil
+}

@@ -1,0 +1,144 @@
+package maff
+
+import (
+	"math"
+	"testing"
+
+	"aarc/internal/resources"
+	"aarc/internal/search"
+	"aarc/internal/testutil"
+)
+
+func TestName(t *testing.T) {
+	if New(DefaultOptions()).Name() != "MAFF" {
+		t.Error("Name should be MAFF")
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.normalize()
+	if o.StepMB != 64 {
+		t.Errorf("default step = %v", o.StepMB)
+	}
+	o = Options{CostIncreaseTol: -1}.normalize()
+	if o.CostIncreaseTol != 0 {
+		t.Errorf("negative tol should clamp to 0: %v", o.CostIncreaseTol)
+	}
+}
+
+func TestSearchBadSLO(t *testing.T) {
+	spec := testutil.ChainSpec(60_000)
+	runner := testutil.NewRunner(t, spec, true, 1)
+	if _, err := New(DefaultOptions()).Search(runner, 0); err == nil {
+		t.Error("zero SLO should error")
+	}
+}
+
+func TestCouplingInvariant(t *testing.T) {
+	spec := testutil.ChainSpec(60_000)
+	runner := testutil.NewRunner(t, spec, true, 5)
+	outcome, err := New(DefaultOptions()).Search(runner, spec.SLOMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := runner.Limits()
+	// Every sampled configuration is coupled: cpu == mem/1024 modulo grid
+	// snapping.
+	for _, s := range outcome.Trace.Samples {
+		for g, cfg := range s.Assignment {
+			want := lim.Snap(resources.Coupled(cfg.MemMB))
+			if math.Abs(cfg.CPU-want.CPU) > 1e-9 {
+				t.Fatalf("sample %d group %s not coupled: %v", s.Index, g, cfg)
+			}
+		}
+	}
+	if err := search.ValidateAssignment(runner, outcome.Best); err != nil {
+		t.Fatalf("MAFF returned invalid assignment: %v", err)
+	}
+}
+
+func TestMemoryDescendsMonotonically(t *testing.T) {
+	spec := testutil.ChainSpec(60_000)
+	runner := testutil.NewRunner(t, spec, true, 5)
+	outcome, err := New(DefaultOptions()).Search(runner, spec.SLOMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, s := range outcome.Trace.Samples {
+		cur := s.Assignment["b"].MemMB
+		if cur > prev {
+			t.Fatalf("memory went up at sample %d: %v -> %v", s.Index, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestFinalConfigMeetsSLO(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		spec := testutil.ChainSpec(45_000)
+		runner := testutil.NewRunner(t, spec, true, seed)
+		outcome, err := New(DefaultOptions()).Search(runner, spec.SLOMS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		const n = 5
+		for i := 0; i < n; i++ {
+			res, err := runner.Evaluate(outcome.Best)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.E2EMS
+		}
+		// Allow a whisker of noise above the SLO: MAFF has no safety margin,
+		// so its final config sits right at the boundary.
+		if avg := sum / n; avg > spec.SLOMS*1.03 {
+			t.Errorf("seed %d: avg e2e %.0f well above SLO %.0f", seed, avg, spec.SLOMS)
+		}
+	}
+}
+
+func TestTerminatesAtMemoryFloor(t *testing.T) {
+	// A very generous SLO: MAFF walks all the way to the floor or to an
+	// OOM revert, then stops; the search must terminate.
+	spec := testutil.ChainSpec(600_000)
+	runner := testutil.NewRunner(t, spec, true, 2)
+	outcome, err := New(Options{StepMB: 512}).Search(runner, spec.SLOMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Trace.Len() > 100 {
+		t.Errorf("MAFF should terminate quickly with 512MB steps: %d samples", outcome.Trace.Len())
+	}
+}
+
+func TestCostGuardStopsUphill(t *testing.T) {
+	spec := testutil.ChainSpec(60_000)
+	runner := testutil.NewRunner(t, spec, true, 3)
+	guarded, err := New(Options{StepMB: 64, CostIncreaseTol: 0.02}).Search(runner, spec.SLOMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner2 := testutil.NewRunner(t, spec, true, 3)
+	unguarded, err := New(Options{StepMB: 64}).Search(runner2, spec.SLOMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guarded.Trace.Len() > unguarded.Trace.Len() {
+		t.Errorf("cost guard should never lengthen the search: %d > %d",
+			guarded.Trace.Len(), unguarded.Trace.Len())
+	}
+}
+
+func TestInfeasibleBaseReturnsImmediately(t *testing.T) {
+	spec := testutil.ChainSpec(1_000) // impossible SLO
+	runner := testutil.NewRunner(t, spec, true, 1)
+	outcome, err := New(DefaultOptions()).Search(runner, spec.SLOMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Trace.Len() != 1 {
+		t.Errorf("infeasible base should stop after the init sample: %d", outcome.Trace.Len())
+	}
+}

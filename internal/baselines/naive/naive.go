@@ -1,0 +1,116 @@
+// Package naive provides two reference searchers used for ablations and
+// sanity checks rather than paper claims: uniform random search over the
+// decoupled grid, and an exhaustive uniform-configuration grid search (every
+// function shares one configuration, so the sweep is tractable).
+package naive
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"aarc/internal/resources"
+	"aarc/internal/search"
+)
+
+// Random samples the decoupled space uniformly at random for a fixed budget
+// and returns the cheapest SLO-compliant assignment seen.
+type Random struct {
+	Budget int
+	Seed   uint64
+}
+
+// Name implements search.Searcher.
+func (r *Random) Name() string { return "Random" }
+
+// Search implements search.Searcher.
+func (r *Random) Search(ev search.Evaluator, sloMS float64) (search.Outcome, error) {
+	if sloMS <= 0 {
+		return search.Outcome{}, fmt.Errorf("naive: non-positive SLO %v", sloMS)
+	}
+	budget := r.Budget
+	if budget <= 0 {
+		budget = 100
+	}
+	rng := rand.New(rand.NewPCG(r.Seed, 0x5eed))
+	groups := ev.Functions()
+	lim := ev.Limits()
+	trace := &search.Trace{Method: "Random"}
+
+	best := ev.Base()
+	bestCost := math.Inf(1)
+	for i := 0; i < budget; i++ {
+		a := make(resources.Assignment, len(groups))
+		for _, g := range groups {
+			a[g] = lim.Snap(lim.Denormalize(rng.Float64(), rng.Float64()))
+		}
+		res, err := ev.Evaluate(a)
+		if err != nil {
+			return search.Outcome{}, err
+		}
+		ok := !res.OOM && res.E2EMS <= sloMS && res.Cost < bestCost
+		trace.Record(a, res, ok, "random")
+		if ok {
+			bestCost = res.Cost
+			best = a.Clone()
+		}
+	}
+	return search.Outcome{Best: best, Trace: trace}, nil
+}
+
+// UniformGrid sweeps a coarsened (cpu, mem) grid, assigning the same
+// configuration to every function, and returns the cheapest SLO-compliant
+// point. CPUPoints and MemPoints bound the sweep resolution per axis.
+type UniformGrid struct {
+	CPUPoints int
+	MemPoints int
+}
+
+// Name implements search.Searcher.
+func (u *UniformGrid) Name() string { return "UniformGrid" }
+
+// Search implements search.Searcher.
+func (u *UniformGrid) Search(ev search.Evaluator, sloMS float64) (search.Outcome, error) {
+	if sloMS <= 0 {
+		return search.Outcome{}, fmt.Errorf("naive: non-positive SLO %v", sloMS)
+	}
+	cp := u.CPUPoints
+	if cp <= 1 {
+		cp = 8
+	}
+	mp := u.MemPoints
+	if mp <= 1 {
+		mp = 8
+	}
+	groups := ev.Functions()
+	lim := ev.Limits()
+	trace := &search.Trace{Method: "UniformGrid"}
+
+	best := ev.Base()
+	bestCost := math.Inf(1)
+	for i := 0; i < cp; i++ {
+		for j := 0; j < mp; j++ {
+			cfg := lim.Snap(lim.Denormalize(
+				float64(i)/float64(cp-1),
+				float64(j)/float64(mp-1),
+			))
+			a := resources.Uniform(groups, cfg)
+			res, err := ev.Evaluate(a)
+			if err != nil {
+				return search.Outcome{}, err
+			}
+			ok := !res.OOM && res.E2EMS <= sloMS && res.Cost < bestCost
+			trace.Record(a, res, ok, "grid")
+			if ok {
+				bestCost = res.Cost
+				best = a.Clone()
+			}
+		}
+	}
+	return search.Outcome{Best: best, Trace: trace}, nil
+}
+
+var (
+	_ search.Searcher = (*Random)(nil)
+	_ search.Searcher = (*UniformGrid)(nil)
+)

@@ -1,0 +1,98 @@
+package naive
+
+import (
+	"testing"
+
+	"aarc/internal/search"
+	"aarc/internal/testutil"
+)
+
+func TestRandomSearch(t *testing.T) {
+	spec := testutil.ChainSpec(60_000)
+	runner := testutil.NewRunner(t, spec, true, 1)
+	r := &Random{Budget: 30, Seed: 1}
+	if r.Name() != "Random" {
+		t.Error("Name wrong")
+	}
+	outcome, err := r.Search(runner, spec.SLOMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Trace.Len() != 30 {
+		t.Errorf("trace len = %d", outcome.Trace.Len())
+	}
+	if err := search.ValidateAssignment(runner, outcome.Best); err != nil {
+		t.Fatalf("invalid result: %v", err)
+	}
+	if _, err := r.Search(runner, 0); err == nil {
+		t.Error("bad SLO should error")
+	}
+}
+
+func TestRandomDefaultBudget(t *testing.T) {
+	spec := testutil.ChainSpec(60_000)
+	runner := testutil.NewRunner(t, spec, true, 2)
+	outcome, err := (&Random{Seed: 2}).Search(runner, spec.SLOMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Trace.Len() != 100 {
+		t.Errorf("default budget should be 100: %d", outcome.Trace.Len())
+	}
+}
+
+func TestRandomFallsBackToBase(t *testing.T) {
+	// Impossible SLO: no random sample is feasible, so the base comes back.
+	spec := testutil.ChainSpec(60_000)
+	runner := testutil.NewRunner(t, spec, true, 3)
+	outcome, err := (&Random{Budget: 10, Seed: 3}).Search(runner, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcome.Best.Equal(runner.Base()) {
+		t.Error("with no feasible sample the base config should be returned")
+	}
+}
+
+func TestUniformGrid(t *testing.T) {
+	spec := testutil.ChainSpec(60_000)
+	runner := testutil.NewRunner(t, spec, true, 4)
+	g := &UniformGrid{CPUPoints: 4, MemPoints: 3}
+	if g.Name() != "UniformGrid" {
+		t.Error("Name wrong")
+	}
+	outcome, err := g.Search(runner, spec.SLOMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Trace.Len() != 12 {
+		t.Errorf("grid sweep = %d samples, want 12", outcome.Trace.Len())
+	}
+	if err := search.ValidateAssignment(runner, outcome.Best); err != nil {
+		t.Fatalf("invalid result: %v", err)
+	}
+	// All functions share one config per sample (uniform sweep).
+	for _, s := range outcome.Trace.Samples {
+		first := s.Assignment["a"]
+		for _, cfg := range s.Assignment {
+			if cfg != first {
+				t.Fatal("uniform grid must assign identical configs")
+			}
+		}
+	}
+	if _, err := g.Search(runner, -1); err == nil {
+		t.Error("bad SLO should error")
+	}
+}
+
+func TestUniformGridDefaults(t *testing.T) {
+	spec := testutil.ChainSpec(60_000)
+	runner := testutil.NewRunner(t, spec, true, 5)
+	outcome, err := (&UniformGrid{}).Search(runner, spec.SLOMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Trace.Len() != 64 {
+		t.Errorf("default sweep = %d, want 8x8", outcome.Trace.Len())
+	}
+}

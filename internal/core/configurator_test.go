@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"aarc/internal/resources"
+	"aarc/internal/search"
+	"aarc/internal/testutil"
+)
+
+func newState(t *testing.T, opts Options) *state {
+	t.Helper()
+	spec := testutil.ChainSpec(60_000)
+	runner := testutil.NewRunner(t, spec, false, 1)
+	return &state{
+		ev:        runner,
+		lim:       runner.Limits(),
+		opts:      opts.normalize(),
+		cur:       runner.Base(),
+		trace:     &search.Trace{},
+		scheduled: map[string]bool{},
+		e2eSLO:    spec.SLOMS,
+	}
+}
+
+func TestShrinkCPU(t *testing.T) {
+	st := newState(t, DefaultOptions())
+	cfg := resources.Config{CPU: 4, MemMB: 2048}
+	o := &op{group: "b", typ: resources.CPU, step: 1}
+	got := st.shrink(cfg, o)
+	if math.Abs(got.CPU-3) > 1e-9 || got.MemMB != 2048 {
+		t.Errorf("shrink cpu = %v", got)
+	}
+}
+
+func TestShrinkMemory(t *testing.T) {
+	st := newState(t, DefaultOptions())
+	cfg := resources.Config{CPU: 4, MemMB: 2048}
+	o := &op{group: "b", typ: resources.Memory, step: 1024}
+	got := st.shrink(cfg, o)
+	if got.MemMB != 1024 || got.CPU != 4 {
+		t.Errorf("shrink mem = %v", got)
+	}
+}
+
+func TestShrinkClampsToLimits(t *testing.T) {
+	st := newState(t, DefaultOptions())
+	cfg := resources.Config{CPU: 0.2, MemMB: 128}
+	o := &op{group: "b", typ: resources.CPU, step: 1}
+	got := st.shrink(cfg, o)
+	if got.CPU != st.lim.MinCPU {
+		t.Errorf("shrink below floor = %v, want clamped to %v", got.CPU, st.lim.MinCPU)
+	}
+	o = &op{group: "b", typ: resources.Memory, step: 1024}
+	got = st.shrink(cfg, o)
+	if got.MemMB != st.lim.MinMemMB {
+		t.Errorf("mem below floor = %v", got.MemMB)
+	}
+}
+
+func TestShrinkCoupled(t *testing.T) {
+	opts := DefaultOptions()
+	opts.CoupledOnly = true
+	st := newState(t, opts)
+	cfg := resources.Config{CPU: 4, MemMB: 4096}
+	o := &op{group: "b", typ: resources.Memory, step: 1024}
+	got := st.shrink(cfg, o)
+	if got.MemMB != 3072 || math.Abs(got.CPU-3) > 1e-9 {
+		t.Errorf("coupled shrink = %v, want 3 vCPU / 3072 MB", got)
+	}
+}
+
+func TestBackoffHalvesToFloor(t *testing.T) {
+	st := newState(t, DefaultOptions())
+	o := &op{group: "b", typ: resources.Memory, step: 1024, trial: 3}
+	st.backoff(o)
+	if o.step != 512 || o.trial != 2 {
+		t.Errorf("after backoff: step %v trial %d", o.step, o.trial)
+	}
+	// Halving floors at the grid granularity.
+	o.step = 100
+	st.backoff(o)
+	if o.step != st.lim.MemStepMB {
+		t.Errorf("step floor = %v, want %v", o.step, st.lim.MemStepMB)
+	}
+	if !st.stepFloor(o) {
+		t.Error("stepFloor should report true at the floor")
+	}
+}
+
+func TestBackoffNoBackoffMode(t *testing.T) {
+	opts := DefaultOptions()
+	opts.NoBackoff = true
+	st := newState(t, opts)
+	o := &op{group: "b", typ: resources.CPU, step: 1, trial: 3}
+	st.backoff(o)
+	if o.step != 1 {
+		t.Errorf("NoBackoff must keep the step: %v", o.step)
+	}
+	if o.trial != 2 {
+		t.Errorf("trials still decrease: %d", o.trial)
+	}
+}
+
+func TestEffSLO(t *testing.T) {
+	st := newState(t, DefaultOptions()) // margin 0.05
+	if got := st.effSLO(1000); got != 950 {
+		t.Errorf("effSLO = %v, want 950", got)
+	}
+}
+
+func TestConfigurePathSkipsScheduledGroups(t *testing.T) {
+	st := newState(t, DefaultOptions())
+	st.scheduled["a"] = true
+	st.scheduled["b"] = true
+	st.scheduled["c"] = true
+	before := st.cur.Clone()
+	if err := st.configurePath([]string{"a", "b", "c"}, st.e2eSLO); err != nil {
+		t.Fatal(err)
+	}
+	if !st.cur.Equal(before) {
+		t.Error("fully-scheduled path should be a no-op")
+	}
+	if st.trace.Len() != 0 {
+		t.Error("no samples should be recorded for a no-op path")
+	}
+}
+
+func TestConfigurePathUnknownGroup(t *testing.T) {
+	st := newState(t, DefaultOptions())
+	delete(st.cur, "b")
+	if err := st.configurePath([]string{"b"}, st.e2eSLO); err == nil {
+		t.Error("missing group in assignment should error")
+	}
+}
+
+func TestConfigurePathMarksScheduled(t *testing.T) {
+	st := newState(t, DefaultOptions())
+	res, err := st.ev.Evaluate(st.cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.curRes = res
+	if err := st.configurePath([]string{"a", "b", "c"}, st.e2eSLO); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []string{"a", "b", "c"} {
+		if !st.scheduled[g] {
+			t.Errorf("group %s not marked scheduled", g)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package core_test
+
+import (
+	"fmt"
+
+	"aarc/internal/core"
+	"aarc/internal/workflow"
+	"aarc/internal/workloads"
+)
+
+// Example runs the full AARC pipeline on the ML Pipeline workload with
+// measurement noise disabled, printing the configuration chosen for the
+// dominant function.
+func Example() {
+	spec := workloads.MLPipeline()
+	runner, err := workflow.NewRunner(spec, workflow.RunnerOptions{
+		HostCores: 96, // the paper's testbed capacity
+	})
+	if err != nil {
+		panic(err)
+	}
+	outcome, err := core.New(core.DefaultOptions()).Search(runner, spec.SLOMS)
+	if err != nil {
+		panic(err)
+	}
+	cfg := outcome.Best["paramtune"]
+	fmt.Printf("paramtune: %.0f vCPU, %.0f MB\n", cfg.CPU, cfg.MemMB)
+
+	res, err := runner.Evaluate(outcome.Best)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("SLO met: %t\n", res.E2EMS <= spec.SLOMS)
+	// Output:
+	// paramtune: 4 vCPU, 512 MB
+	// SLO met: true
+}

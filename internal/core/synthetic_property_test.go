@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"aarc/internal/search"
+	"aarc/internal/workflow"
+	"aarc/internal/workloads"
+)
+
+// Property: on randomly generated workflows of assorted shapes, AARC always
+// returns a valid assignment, never violates the SLO (averaged over noisy
+// validation runs), and never costs more than the base configuration.
+func TestSearchPropertyOnSyntheticWorkflows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthetic property sweep skipped in -short mode")
+	}
+	shapes := []workloads.SyntheticOptions{
+		{Layers: 1, MaxWidth: 1},
+		{Layers: 2, MaxWidth: 3},
+		{Layers: 4, MaxWidth: 2},
+		{Layers: 3, MaxWidth: 4},
+	}
+	for _, shape := range shapes {
+		for seed := uint64(1); seed <= 5; seed++ {
+			shape.Seed = seed
+			spec, err := workloads.Synthetic(shape)
+			if err != nil {
+				t.Fatalf("shape %+v: %v", shape, err)
+			}
+			runner, err := workflow.NewRunner(spec, workflow.RunnerOptions{
+				HostCores: 96, Noise: true, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			outcome, err := New(DefaultOptions()).Search(runner, spec.SLOMS)
+			if err != nil {
+				t.Fatalf("%s: %v", spec.Name, err)
+			}
+			if err := search.ValidateAssignment(runner, outcome.Best); err != nil {
+				t.Fatalf("%s: invalid assignment: %v", spec.Name, err)
+			}
+
+			var e2e, cost float64
+			const n = 5
+			for i := 0; i < n; i++ {
+				res, err := runner.Evaluate(outcome.Best)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.OOM {
+					t.Fatalf("%s: chosen config OOMs", spec.Name)
+				}
+				e2e += res.E2EMS
+				cost += res.Cost
+			}
+			e2e /= n
+			cost /= n
+			if e2e > spec.SLOMS {
+				t.Errorf("%s: avg e2e %.0f > SLO %.0f", spec.Name, e2e, spec.SLOMS)
+			}
+			baseRes, err := runner.Evaluate(runner.Base())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cost > baseRes.Cost*1.02 {
+				t.Errorf("%s: configured cost %.0f above base %.0f", spec.Name, cost, baseRes.Cost)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CriticalPath returns the maximum-weight source→sink path of the graph
+// under the given node weights (the paper's find_critical_path). Weights are
+// per-node (function runtimes); missing entries count as zero. The second
+// return value is the path's total weight. Ties resolve deterministically in
+// favour of earlier-inserted nodes.
+func CriticalPath(g *Graph, weights map[string]float64) ([]string, float64, error) {
+	topo, err := g.TopoSort()
+	if err != nil {
+		return nil, 0, err
+	}
+	for id, w := range weights {
+		if !g.HasNode(id) {
+			return nil, 0, fmt.Errorf("%w: weight for %q", ErrUnknownNode, id)
+		}
+		if w < 0 {
+			return nil, 0, fmt.Errorf("dag: negative weight %v for %q", w, id)
+		}
+	}
+
+	dist := make(map[string]float64, len(topo))
+	prev := make(map[string]string, len(topo))
+	for _, id := range topo {
+		best := 0.0
+		bestPred := ""
+		for _, p := range g.pred[id] {
+			if bestPred == "" || dist[p] > best ||
+				(dist[p] == best && g.index[p] < g.index[bestPred]) {
+				best = dist[p]
+				bestPred = p
+			}
+		}
+		dist[id] = best + weights[id]
+		if bestPred != "" {
+			prev[id] = bestPred
+		}
+	}
+
+	// Pick the best sink.
+	var end string
+	bestDist := -1.0
+	for _, id := range g.Sinks() {
+		if dist[id] > bestDist {
+			bestDist = dist[id]
+			end = id
+		}
+	}
+	if end == "" {
+		return nil, 0, errors.New("dag: no sink found")
+	}
+
+	var rev []string
+	for id := end; ; {
+		rev = append(rev, id)
+		p, ok := prev[id]
+		if !ok {
+			break
+		}
+		id = p
+	}
+	path := make([]string, len(rev))
+	for i, id := range rev {
+		path[len(rev)-1-i] = id
+	}
+	return path, bestDist, nil
+}
+
+// PathWeight sums the node weights along path.
+func PathWeight(path []string, weights map[string]float64) float64 {
+	s := 0.0
+	for _, id := range path {
+		s += weights[id]
+	}
+	return s
+}
+
+// RuntimeSum is the paper's runtime_sum(path, start, end): the total weight
+// of the nodes of path from start to end inclusive. It errors if either
+// anchor is missing from the path or appears in the wrong order.
+func RuntimeSum(path []string, start, end string, weights map[string]float64) (float64, error) {
+	si, ei := -1, -1
+	for i, id := range path {
+		if id == start && si == -1 {
+			si = i
+		}
+		if id == end {
+			ei = i
+		}
+	}
+	if si == -1 {
+		return 0, fmt.Errorf("dag: runtime_sum start %q not on path", start)
+	}
+	if ei == -1 {
+		return 0, fmt.Errorf("dag: runtime_sum end %q not on path", end)
+	}
+	if ei < si {
+		return 0, fmt.Errorf("dag: runtime_sum end %q precedes start %q", end, start)
+	}
+	s := 0.0
+	for _, id := range path[si : ei+1] {
+		s += weights[id]
+	}
+	return s, nil
+}

@@ -1,0 +1,40 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz DOT format. Node weights, when
+// provided, are appended to labels as runtimes in milliseconds; nodes on the
+// highlight path are drawn bold.
+func DOT(g *Graph, weights map[string]float64, highlight []string) string {
+	hl := make(map[string]bool, len(highlight))
+	for _, id := range highlight {
+		hl[id] = true
+	}
+	var b strings.Builder
+	b.WriteString("digraph workflow {\n  rankdir=LR;\n  node [shape=box];\n")
+	for _, id := range g.Nodes() {
+		label := id
+		if w, ok := weights[id]; ok {
+			label = fmt.Sprintf("%s\\n%.0fms", id, w)
+		}
+		attrs := fmt.Sprintf("label=\"%s\"", label)
+		if hl[id] {
+			attrs += ", style=bold, color=red"
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", id, attrs)
+	}
+	for _, id := range g.Nodes() {
+		for _, s := range g.Succ(id) {
+			style := ""
+			if hl[id] && hl[s] {
+				style = " [color=red, penwidth=2]"
+			}
+			fmt.Fprintf(&b, "  %q -> %q%s;\n", id, s, style)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,257 @@
+// Package dag implements the weighted directed-acyclic-graph substrate the
+// Graph-Centric Scheduler operates on: construction and validation of
+// workflow DAGs, topological ordering, critical-path extraction on
+// node-weighted graphs, detour sub-path enumeration, and the runtime-sum
+// window computation of Algorithm 1.
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Common construction and query errors.
+var (
+	ErrDuplicateNode = errors.New("dag: duplicate node")
+	ErrUnknownNode   = errors.New("dag: unknown node")
+	ErrSelfLoop      = errors.New("dag: self loop")
+	ErrDuplicateEdge = errors.New("dag: duplicate edge")
+	ErrCycle         = errors.New("dag: graph contains a cycle")
+	ErrEmpty         = errors.New("dag: graph is empty")
+)
+
+// Graph is a mutable DAG with string node IDs. Node weights are supplied
+// externally (as measured runtimes) when querying, so the same topology can
+// be re-weighted between profiling rounds without rebuilding.
+type Graph struct {
+	order []string // node insertion order, for deterministic iteration
+	index map[string]int
+	succ  map[string][]string
+	pred  map[string][]string
+	edges int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		index: make(map[string]int),
+		succ:  make(map[string][]string),
+		pred:  make(map[string][]string),
+	}
+}
+
+// AddNode inserts a node. Adding an existing ID returns ErrDuplicateNode.
+func (g *Graph) AddNode(id string) error {
+	if id == "" {
+		return errors.New("dag: empty node id")
+	}
+	if _, ok := g.index[id]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateNode, id)
+	}
+	g.index[id] = len(g.order)
+	g.order = append(g.order, id)
+	return nil
+}
+
+// MustAddNode is AddNode that panics on error; intended for static workflow
+// definitions whose shape is fixed at compile time.
+func (g *Graph) MustAddNode(id string) {
+	if err := g.AddNode(id); err != nil {
+		panic(err)
+	}
+}
+
+// AddEdge inserts a directed edge from → to. Both endpoints must exist.
+func (g *Graph) AddEdge(from, to string) error {
+	if _, ok := g.index[from]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, from)
+	}
+	if _, ok := g.index[to]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	if from == to {
+		return fmt.Errorf("%w: %q", ErrSelfLoop, from)
+	}
+	for _, s := range g.succ[from] {
+		if s == to {
+			return fmt.Errorf("%w: %q -> %q", ErrDuplicateEdge, from, to)
+		}
+	}
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+	g.edges++
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error.
+func (g *Graph) MustAddEdge(from, to string) {
+	if err := g.AddEdge(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// HasNode reports whether id is a node of g.
+func (g *Graph) HasNode(id string) bool {
+	_, ok := g.index[id]
+	return ok
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.order) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Nodes returns the node IDs in insertion order (a copy).
+func (g *Graph) Nodes() []string {
+	return append([]string(nil), g.order...)
+}
+
+// Succ returns the successors of id in insertion order (a copy).
+func (g *Graph) Succ(id string) []string {
+	return append([]string(nil), g.succ[id]...)
+}
+
+// Pred returns the predecessors of id in insertion order (a copy).
+func (g *Graph) Pred(id string) []string {
+	return append([]string(nil), g.pred[id]...)
+}
+
+// Sources returns nodes with no predecessors, in insertion order.
+func (g *Graph) Sources() []string {
+	var out []string
+	for _, id := range g.order {
+		if len(g.pred[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Sinks returns nodes with no successors, in insertion order.
+func (g *Graph) Sinks() []string {
+	var out []string
+	for _, id := range g.order {
+		if len(g.succ[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := New()
+	for _, id := range g.order {
+		out.MustAddNode(id)
+	}
+	for _, id := range g.order {
+		for _, s := range g.succ[id] {
+			out.MustAddEdge(id, s)
+		}
+	}
+	return out
+}
+
+// TopoSort returns a topological order of the nodes (Kahn's algorithm with
+// insertion-order tie-breaking, so the result is deterministic). It returns
+// ErrCycle if the graph is cyclic and ErrEmpty if it has no nodes.
+func (g *Graph) TopoSort() ([]string, error) {
+	if len(g.order) == 0 {
+		return nil, ErrEmpty
+	}
+	indeg := make(map[string]int, len(g.order))
+	for _, id := range g.order {
+		indeg[id] = len(g.pred[id])
+	}
+	// ready is kept sorted by insertion index for determinism.
+	var ready []string
+	for _, id := range g.order {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	out := make([]string, 0, len(g.order))
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		out = append(out, id)
+		for _, s := range g.succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = insertByIndex(ready, s, g.index)
+			}
+		}
+	}
+	if len(out) != len(g.order) {
+		return nil, ErrCycle
+	}
+	return out, nil
+}
+
+func insertByIndex(ready []string, id string, index map[string]int) []string {
+	pos := sort.Search(len(ready), func(i int) bool { return index[ready[i]] > index[id] })
+	ready = append(ready, "")
+	copy(ready[pos+1:], ready[pos:])
+	ready[pos] = id
+	return ready
+}
+
+// Validate checks that the graph is non-empty, acyclic, and that every node
+// is reachable in the undirected sense from the first source (i.e. the
+// workflow is one connected component).
+func (g *Graph) Validate() error {
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	if len(g.Sources()) == 0 {
+		return errors.New("dag: no source node")
+	}
+	if len(g.Sinks()) == 0 {
+		return errors.New("dag: no sink node")
+	}
+	// Undirected connectivity check.
+	seen := make(map[string]bool, len(g.order))
+	stack := []string{g.order[0]}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		stack = append(stack, g.succ[id]...)
+		stack = append(stack, g.pred[id]...)
+	}
+	if len(seen) != len(g.order) {
+		return errors.New("dag: graph is disconnected")
+	}
+	return nil
+}
+
+// HasPath reports whether a directed path exists from src to dst.
+func (g *Graph) HasPath(src, dst string) bool {
+	if !g.HasNode(src) || !g.HasNode(dst) {
+		return false
+	}
+	if src == dst {
+		return true
+	}
+	seen := map[string]bool{src: true}
+	stack := []string{src}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.succ[id] {
+			if s == dst {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}

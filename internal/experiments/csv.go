@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The WriteCSV methods emit each experiment's data in a layout ready for
+// external plotting (one row per data point, headers included), so the
+// paper's figures can be redrawn from `aarcbench <name> -csv dir`.
+
+func writeAll(w io.Writer, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// WriteCSV emits one row per heatmap cell: workload, cpu, mem, runtime, cost.
+func (r Fig2Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"workload", "vcpu", "mem_mb", "runtime_ms", "cost"}}
+	for i, cpu := range r.CPUs {
+		for j, mem := range r.Mems {
+			rows = append(rows, []string{
+				r.Workload, f(cpu), f(mem), f(r.RuntimeMS[i][j]), f(r.Cost[i][j]),
+			})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV delegates to the underlying BO trace.
+func (r Fig3Result) WriteCSV(w io.Writer) error { return r.Trace.WriteCSV(w) }
+
+// WriteCSV emits one row per (workload, method) total.
+func (r Fig5Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"workload", "method", "samples", "total_runtime_ms", "total_cost"}}
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			c.Workload, c.Method, strconv.Itoa(c.Samples), f(c.TotalRuntimeMS), f(c.TotalCost),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits one row per sample per method per workload.
+func (r SeriesResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"workload", "method", "sample", r.Dim}}
+	for _, wl := range sortedKeys(r.Series) {
+		for _, m := range MethodNames {
+			for i, v := range r.Series[wl][m] {
+				rows = append(rows, []string{wl, m, strconv.Itoa(i), f(v)})
+			}
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits one row per Table II entry.
+func (r Table2Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"workload", "method", "mean_runtime_ms", "std_runtime_ms", "mean_cost", "slo_ms", "violations"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Workload, row.Method,
+			f(row.MeanRuntimeMS), f(row.StdRuntimeMS), f(row.MeanCost), f(row.SLOMS),
+			strconv.Itoa(row.Violations),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits the per-request runtime series (a) followed by the
+// per-class cost summary (b), tagged by a "record" column.
+func (r Fig8Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"record", "method", "request_or_class", "value"}}
+	for _, m := range MethodNames {
+		for i, v := range r.RuntimeMSSeries[m] {
+			rows = append(rows, []string{"runtime_ms", m, strconv.Itoa(i), f(v)})
+		}
+	}
+	for _, m := range MethodNames {
+		for _, cls := range r.Classes {
+			rows = append(rows, []string{"avg_cost", m, cls.Name, f(r.AvgCost[m][cls.Name])})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits one row per ablation variant per workload.
+func (r AblationResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"workload", "variant", "samples", "search_runtime_ms", "final_cost", "final_e2e_ms", "slo_ms"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Workload, row.Variant, strconv.Itoa(row.Samples),
+			f(row.TotalRuntimeMS), f(row.FinalCost), f(row.FinalE2EMS), f(row.SLOMS),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits one row per (workload, scheme).
+func (r MotivationResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"workload", "scheme", "vcpu", "mem_mb", "e2e_ms", "cost", "overhead_pct", "feasible"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Workload, row.Scheme, f(row.Config.CPU), f(row.Config.MemMB),
+			f(row.E2EMS), f(row.Cost), f(row.OverPct), fmt.Sprintf("%t", row.Feasible),
+		})
+	}
+	return writeAll(w, rows)
+}

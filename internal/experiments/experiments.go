@@ -1,0 +1,178 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§II motivation and §IV performance evaluation). Each
+// experiment has a Run function returning structured data plus a Render
+// method that prints the same rows/series the paper reports; cmd/aarcbench
+// and the root bench_test.go drive them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"aarc/internal/baselines/bo"
+	"aarc/internal/baselines/maff"
+	"aarc/internal/core"
+	"aarc/internal/search"
+	"aarc/internal/workflow"
+	"aarc/internal/workloads"
+)
+
+// HostCores mirrors the paper's 96-physical-core testbed.
+const HostCores = 96
+
+// MethodNames lists the three compared methods in presentation order.
+var MethodNames = []string{"AARC", "BO", "MAFF"}
+
+// NewSearcher constructs one of the three paper methods by name, seeded for
+// reproducibility.
+func NewSearcher(name string, seed uint64) (search.Searcher, error) {
+	switch name {
+	case "AARC":
+		return core.New(core.DefaultOptions()), nil
+	case "BO":
+		opts := bo.DefaultOptions()
+		opts.Seed = seed
+		return bo.New(opts), nil
+	case "MAFF":
+		return maff.New(maff.DefaultOptions()), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown method %q", name)
+	}
+}
+
+// NewRunner builds the standard evaluation runner for a workload spec:
+// 96 host cores, measurement noise on, deterministic seed.
+func NewRunner(spec *workflow.Spec, seed uint64) (*workflow.Runner, error) {
+	return workflow.NewRunner(spec, workflow.RunnerOptions{
+		HostCores: HostCores,
+		Noise:     true,
+		Seed:      seed,
+	})
+}
+
+// SearchRun is one (workload, method) search outcome.
+type SearchRun struct {
+	Workload string
+	Method   string
+	Outcome  search.Outcome
+}
+
+// Suite runs the three methods over the three workloads once and caches the
+// outcomes; Figures 5–7 and Table II all derive from the same runs, exactly
+// as in the paper.
+type Suite struct {
+	Seed uint64
+	runs map[string]map[string]SearchRun // workload -> method -> run
+}
+
+// NewSuite returns an empty suite with the given seed.
+func NewSuite(seed uint64) *Suite { return &Suite{Seed: seed} }
+
+// Workloads returns the paper's workload names in presentation order.
+func Workloads() []string { return []string{"chatbot", "ml-pipeline", "video-analysis"} }
+
+// Run executes (or returns the cached) search for one workload and method.
+func (s *Suite) Run(workloadName, method string) (SearchRun, error) {
+	if s.runs == nil {
+		s.runs = make(map[string]map[string]SearchRun)
+	}
+	if byMethod, ok := s.runs[workloadName]; ok {
+		if run, ok := byMethod[method]; ok {
+			return run, nil
+		}
+	}
+	spec, err := workloads.ByName(workloadName)
+	if err != nil {
+		return SearchRun{}, err
+	}
+	runner, err := NewRunner(spec, s.Seed)
+	if err != nil {
+		return SearchRun{}, err
+	}
+	searcher, err := NewSearcher(method, s.Seed)
+	if err != nil {
+		return SearchRun{}, err
+	}
+	outcome, err := searcher.Search(runner, spec.SLOMS)
+	if err != nil {
+		return SearchRun{}, fmt.Errorf("experiments: %s/%s: %w", workloadName, method, err)
+	}
+	outcome.Trace.Workload = workloadName
+	run := SearchRun{Workload: workloadName, Method: method, Outcome: outcome}
+	if s.runs[workloadName] == nil {
+		s.runs[workloadName] = make(map[string]SearchRun)
+	}
+	s.runs[workloadName][method] = run
+	return run, nil
+}
+
+// RunAll executes every (workload, method) pair.
+func (s *Suite) RunAll() error {
+	for _, w := range Workloads() {
+		for _, m := range MethodNames {
+			if _, err := s.Run(w, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// --- small text-table renderer shared by the experiment reports ---
+
+// table accumulates rows and renders with aligned columns.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// sortedKeys returns map keys in sorted order (for deterministic rendering).
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

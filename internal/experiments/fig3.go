@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"aarc/internal/baselines/bo"
+	"aarc/internal/search"
+	"aarc/internal/stats"
+	"aarc/internal/workloads"
+)
+
+// Fig3Result is the §II-B motivation experiment: Bayesian optimization over
+// the decoupled space of the Chatbot workflow for 100 rounds, showing
+// non-convergence and cost instability.
+type Fig3Result struct {
+	Trace *search.Trace
+	// CostReductionPct is the relative drop from the first to the best
+	// sampled cost (the paper observes 32.13%).
+	CostReductionPct float64
+	// TotalRuntimeHours is the summed sampling time (the paper: 9.76 h).
+	TotalRuntimeHours float64
+	// FluctuationPct is the mean absolute consecutive cost change over the
+	// series mean (the paper: 18.3%).
+	FluctuationPct float64
+	// IncreaseFractionPct is the share of consecutive cost changes that are
+	// increases (the paper: "over half").
+	IncreaseFractionPct float64
+}
+
+// RunFig3 reruns the paper's BO probe on Chatbot.
+func RunFig3(seed uint64) (Fig3Result, error) {
+	spec := workloads.Chatbot()
+	runner, err := NewRunner(spec, seed)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	opts := bo.DefaultOptions()
+	opts.Seed = seed
+	outcome, err := bo.New(opts).Search(runner, spec.SLOMS)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+
+	costs := outcome.Trace.CostSeries()
+	first := costs[0]
+	best, _ := stats.Min(costs)
+	reduction := 0.0
+	if first > 0 {
+		reduction = (first - best) / first * 100
+	}
+	return Fig3Result{
+		Trace:               outcome.Trace,
+		CostReductionPct:    reduction,
+		TotalRuntimeHours:   outcome.Trace.TotalRuntimeMS() / 3600 / 1000,
+		FluctuationPct:      stats.FluctuationAmplitude(costs) * 100,
+		IncreaseFractionPct: stats.IncreaseFraction(costs) * 100,
+	}, nil
+}
+
+// Render prints the sample series and the instability summary.
+func (f Fig3Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig 3 — Bayesian Optimization search for Chatbot (runtime & cost vs sample count)")
+	t := &table{header: []string{"sample", "runtime_s", "cost_k", "note"}}
+	for _, s := range f.Trace.Samples {
+		t.addRow(
+			fmt.Sprintf("%d", s.Index),
+			fmt.Sprintf("%.1f", s.E2EMS/1000),
+			fmt.Sprintf("%.0f", s.Cost/1000),
+			s.Note,
+		)
+	}
+	t.render(w)
+	fmt.Fprintf(w, "\ncost reduction over %d rounds : %.2f%% (paper: 32.13%%)\n", f.Trace.Len(), f.CostReductionPct)
+	fmt.Fprintf(w, "total sampling runtime        : %.2f h (paper: 9.76 h)\n", f.TotalRuntimeHours)
+	fmt.Fprintf(w, "cost fluctuation amplitude    : %.1f%% of mean (paper: 18.3%%)\n", f.FluctuationPct)
+	fmt.Fprintf(w, "consecutive increases         : %.1f%% of changes (paper: ~50%%)\n\n", f.IncreaseFractionPct)
+}

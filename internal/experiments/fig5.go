@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fig5Cell is one (workload, method) total of the sampling process.
+type Fig5Cell struct {
+	Workload       string
+	Method         string
+	Samples        int
+	TotalRuntimeMS float64
+	TotalCost      float64
+}
+
+// Fig5Result reproduces Fig. 5: total sampling runtime (a) and cost (b) per
+// method and workload, plus AARC's reduction percentages against each
+// baseline.
+type Fig5Result struct {
+	Cells []Fig5Cell
+}
+
+// RunFig5 derives the totals from the suite's cached searches.
+func RunFig5(s *Suite) (Fig5Result, error) {
+	var out Fig5Result
+	for _, w := range Workloads() {
+		for _, m := range MethodNames {
+			run, err := s.Run(w, m)
+			if err != nil {
+				return Fig5Result{}, err
+			}
+			out.Cells = append(out.Cells, Fig5Cell{
+				Workload:       w,
+				Method:         m,
+				Samples:        run.Outcome.Trace.Len(),
+				TotalRuntimeMS: run.Outcome.Trace.TotalRuntimeMS(),
+				TotalCost:      run.Outcome.Trace.TotalCost(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// cell finds one entry; second return is false when missing.
+func (f Fig5Result) cell(workload, method string) (Fig5Cell, bool) {
+	for _, c := range f.Cells {
+		if c.Workload == workload && c.Method == method {
+			return c, true
+		}
+	}
+	return Fig5Cell{}, false
+}
+
+// ReductionPct returns AARC's percentage reduction against a baseline for a
+// workload, for runtime (dim="runtime") or cost (dim="cost").
+func (f Fig5Result) ReductionPct(workload, baseline, dim string) float64 {
+	a, okA := f.cell(workload, "AARC")
+	b, okB := f.cell(workload, baseline)
+	if !okA || !okB {
+		return 0
+	}
+	var av, bv float64
+	if dim == "cost" {
+		av, bv = a.TotalCost, b.TotalCost
+	} else {
+		av, bv = a.TotalRuntimeMS, b.TotalRuntimeMS
+	}
+	if bv == 0 {
+		return 0
+	}
+	return (bv - av) / bv * 100
+}
+
+// Render prints the Fig. 5 bars as a table plus the headline reductions.
+func (f Fig5Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig 5 — overall sampling cost and runtime comparison")
+	t := &table{header: []string{"workload", "method", "samples", "total_runtime_s", "total_cost_k"}}
+	for _, c := range f.Cells {
+		t.addRow(
+			c.Workload, c.Method,
+			fmt.Sprintf("%d", c.Samples),
+			fmt.Sprintf("%.0f", c.TotalRuntimeMS/1000),
+			fmt.Sprintf("%.0f", c.TotalCost/1000),
+		)
+	}
+	t.render(w)
+	fmt.Fprintln(w)
+	// Positive percentages are AARC reductions; negative means AARC spent
+	// more than the baseline (the paper reports this for MAFF on ML
+	// Pipeline).
+	for _, wl := range Workloads() {
+		fmt.Fprintf(w, "%-15s AARC vs BO  : runtime %+6.1f%%, cost %+6.1f%%\n",
+			wl, -f.ReductionPct(wl, "BO", "runtime"), -f.ReductionPct(wl, "BO", "cost"))
+		fmt.Fprintf(w, "%-15s AARC vs MAFF: runtime %+6.1f%%, cost %+6.1f%%\n",
+			wl, -f.ReductionPct(wl, "MAFF", "runtime"), -f.ReductionPct(wl, "MAFF", "cost"))
+	}
+	fmt.Fprintln(w)
+}

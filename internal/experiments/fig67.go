@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// SeriesResult carries the per-sample trajectories of Figures 6 (runtime vs
+// sample count) and 7 (cost vs sample count): one series per method per
+// workload, derived from the same searches as Fig. 5.
+type SeriesResult struct {
+	// Dim is "runtime" (Fig 6) or "cost" (Fig 7).
+	Dim string
+	// Series[workload][method] is the per-sample series.
+	Series map[string]map[string][]float64
+}
+
+// RunFig6 extracts the runtime trajectories.
+func RunFig6(s *Suite) (SeriesResult, error) { return runSeries(s, "runtime") }
+
+// RunFig7 extracts the cost trajectories.
+func RunFig7(s *Suite) (SeriesResult, error) { return runSeries(s, "cost") }
+
+func runSeries(s *Suite, dim string) (SeriesResult, error) {
+	out := SeriesResult{Dim: dim, Series: make(map[string]map[string][]float64)}
+	for _, w := range Workloads() {
+		out.Series[w] = make(map[string][]float64)
+		for _, m := range MethodNames {
+			run, err := s.Run(w, m)
+			if err != nil {
+				return SeriesResult{}, err
+			}
+			if dim == "cost" {
+				out.Series[w][m] = run.Outcome.Trace.CostSeries()
+			} else {
+				out.Series[w][m] = run.Outcome.Trace.RuntimeSeries()
+			}
+		}
+	}
+	return out, nil
+}
+
+// Render prints each workload's series, one row per sample index, columns
+// per method (blank once a method's search has terminated).
+func (r SeriesResult) Render(w io.Writer) {
+	fig, unit, scale := "Fig 6", "runtime_s", 1000.0
+	if r.Dim == "cost" {
+		fig, unit, scale = "Fig 7", "cost_k", 1000.0
+	}
+	fmt.Fprintf(w, "%s — %s changing with sample counts of different methods\n", fig, r.Dim)
+	for _, wl := range sortedKeys(r.Series) {
+		byMethod := r.Series[wl]
+		maxLen := 0
+		for _, series := range byMethod {
+			if len(series) > maxLen {
+				maxLen = len(series)
+			}
+		}
+		fmt.Fprintf(w, "\n[%s] (%s per sample)\n", wl, unit)
+		header := []string{"sample"}
+		header = append(header, MethodNames...)
+		t := &table{header: header}
+		for i := 0; i < maxLen; i++ {
+			row := []string{fmt.Sprintf("%d", i)}
+			for _, m := range MethodNames {
+				series := byMethod[m]
+				if i < len(series) {
+					row = append(row, fmt.Sprintf("%.1f", series[i]/scale))
+				} else {
+					row = append(row, "")
+				}
+			}
+			t.addRow(row...)
+		}
+		t.render(w)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"aarc/internal/inputaware"
+	"aarc/internal/resources"
+	"aarc/internal/stats"
+	"aarc/internal/workflow"
+	"aarc/internal/workloads"
+)
+
+// Fig8RequestsPerClass is the number of requests issued per input size in
+// the Fig. 8a sequence (light, then middle, then heavy).
+const Fig8RequestsPerClass = 100
+
+// Fig8Result reproduces the §IV-D input-aware configuration experiment on
+// Video Analysis.
+type Fig8Result struct {
+	Classes []inputaware.Class
+	// RuntimeMSSeries[method] is the per-request end-to-end runtime over
+	// the light→middle→heavy request sequence (Fig. 8a).
+	RuntimeMSSeries map[string][]float64
+	// Violations[method] counts SLO-violating requests.
+	Violations map[string]int
+	// AvgCost[method][class] is the average per-request cost per input size
+	// (Fig. 8b).
+	AvgCost map[string]map[string]float64
+	SLOMS   float64
+}
+
+// RunFig8 configures AARC through the Input-Aware Configuration Engine (one
+// configuration per input class) while BO and MAFF keep a single static
+// configuration searched at the middle input size — mirroring the paper,
+// where only the plugin-enabled system adapts to input scale.
+func RunFig8(seed uint64) (Fig8Result, error) {
+	spec := workloads.VideoAnalysis()
+	classes := inputaware.DefaultVideoClasses()
+	runnerOpts := workflow.RunnerOptions{HostCores: HostCores, Noise: true, Seed: seed}
+
+	aarc, err := NewSearcher("AARC", seed)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	engine, err := inputaware.Configure(spec, runnerOpts, aarc, classes)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+
+	// Static baselines: search once at the middle scale.
+	static := make(map[string]resources.Assignment)
+	for _, m := range []string{"BO", "MAFF"} {
+		runner, err := workflow.NewRunner(spec, runnerOpts)
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		searcher, err := NewSearcher(m, seed)
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		outcome, err := searcher.Search(runner, spec.SLOMS)
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		static[m] = outcome.Best
+	}
+
+	out := Fig8Result{
+		Classes:         classes,
+		RuntimeMSSeries: make(map[string][]float64),
+		Violations:      make(map[string]int),
+		AvgCost:         make(map[string]map[string]float64),
+		SLOMS:           spec.SLOMS,
+	}
+
+	// One serving runner per method, with noise, processing the request
+	// sequence: 100 light, 100 middle, 100 heavy.
+	for _, m := range MethodNames {
+		runner, err := workflow.NewRunner(spec, workflow.RunnerOptions{
+			HostCores: HostCores, Noise: true, Seed: seed + 77,
+		})
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		out.AvgCost[m] = make(map[string]float64)
+		reqID := 0
+		for _, cls := range classes {
+			var costs []float64
+			for i := 0; i < Fig8RequestsPerClass; i++ {
+				var cfg resources.Assignment
+				if m == "AARC" {
+					_, cfg = engine.Dispatch(inputaware.Request{ID: reqID, Scale: cls.Scale})
+				} else {
+					cfg = static[m]
+				}
+				res, err := runner.EvaluateScale(cfg, cls.Scale)
+				if err != nil {
+					return Fig8Result{}, err
+				}
+				out.RuntimeMSSeries[m] = append(out.RuntimeMSSeries[m], res.E2EMS)
+				if res.OOM || res.E2EMS > spec.SLOMS {
+					out.Violations[m]++
+				}
+				costs = append(costs, res.Cost)
+				reqID++
+			}
+			out.AvgCost[m][cls.Name] = stats.Mean(costs)
+		}
+	}
+	return out, nil
+}
+
+// CostOptimizationPct returns AARC's cost saving against a baseline for one
+// input class (the paper: 89.9% vs MAFF and 89.8% vs BO under light input).
+func (f Fig8Result) CostOptimizationPct(baseline, class string) float64 {
+	b := f.AvgCost[baseline][class]
+	a := f.AvgCost["AARC"][class]
+	if b == 0 {
+		return 0
+	}
+	return (b - a) / b * 100
+}
+
+// Render prints the per-request runtime series summary and the per-class
+// cost comparison.
+func (f Fig8Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig 8 — performance across input sizes in Video Analysis (input-aware plugin)")
+	fmt.Fprintf(w, "request sequence: %d light, %d middle, %d heavy; SLO %.0f s\n\n",
+		Fig8RequestsPerClass, Fig8RequestsPerClass, Fig8RequestsPerClass, f.SLOMS/1000)
+
+	fmt.Fprintln(w, "(a) per-request runtime by phase (mean seconds)")
+	t := &table{header: []string{"method", "light", "middle", "heavy", "slo_violations"}}
+	for _, m := range MethodNames {
+		series := f.RuntimeMSSeries[m]
+		row := []string{m}
+		for i := range f.Classes {
+			lo := i * Fig8RequestsPerClass
+			hi := lo + Fig8RequestsPerClass
+			if hi > len(series) {
+				hi = len(series)
+			}
+			row = append(row, fmt.Sprintf("%.1f", stats.Mean(series[lo:hi])/1000))
+		}
+		row = append(row, fmt.Sprintf("%d", f.Violations[m]))
+		t.addRow(row...)
+	}
+	t.render(w)
+
+	fmt.Fprintln(w, "\n(b) average cost per input size (k cost units)")
+	t2 := &table{header: []string{"method", "light", "middle", "heavy"}}
+	for _, m := range MethodNames {
+		row := []string{m}
+		for _, cls := range f.Classes {
+			row = append(row, fmt.Sprintf("%.1f", f.AvgCost[m][cls.Name]/1000))
+		}
+		t2.addRow(row...)
+	}
+	t2.render(w)
+
+	fmt.Fprintf(w, "\nAARC cost optimization under light input: %.1f%% vs MAFF, %.1f%% vs BO\n",
+		f.CostOptimizationPct("MAFF", "light"), f.CostOptimizationPct("BO", "light"))
+	fmt.Fprintf(w, "AARC cost optimization under heavy input: %.1f%% vs MAFF, %.1f%% vs BO\n\n",
+		f.CostOptimizationPct("MAFF", "heavy"), f.CostOptimizationPct("BO", "heavy"))
+}

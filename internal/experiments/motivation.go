@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"aarc/internal/pricing"
+	"aarc/internal/resources"
+	"aarc/internal/workflow"
+	"aarc/internal/workloads"
+)
+
+// MotivationRow quantifies what one industry configuration scheme (§I of
+// the paper) costs on one workload, against the decoupled optimum found by
+// a fine uniform grid sweep.
+type MotivationRow struct {
+	Workload string
+	Scheme   string
+	Config   resources.Config // chosen uniform configuration
+	E2EMS    float64
+	Cost     float64
+	OverPct  float64 // cost overhead vs the decoupled optimum
+	Feasible bool    // meets the SLO
+	SLOMS    float64
+}
+
+// MotivationResult is the §I/§II-A quantification: memory-centric (AWS),
+// predefined tiers (GCF), ratio-band (Alibaba) and fully decoupled
+// configuration schemes compared per workload.
+type MotivationResult struct {
+	Rows []MotivationRow
+}
+
+// RunMotivation sweeps each scheme's admissible uniform configurations with
+// noise off and reports the cheapest SLO-feasible choice per scheme.
+func RunMotivation() (MotivationResult, error) {
+	var out MotivationResult
+	for _, w := range Workloads() {
+		spec, err := workloads.ByName(w)
+		if err != nil {
+			return MotivationResult{}, err
+		}
+		runner, err := workflow.NewRunner(spec, workflow.RunnerOptions{HostCores: HostCores})
+		if err != nil {
+			return MotivationResult{}, err
+		}
+		rows, err := motivationForWorkload(spec, runner)
+		if err != nil {
+			return MotivationResult{}, err
+		}
+		out.Rows = append(out.Rows, rows...)
+	}
+	return out, nil
+}
+
+func motivationForWorkload(spec *workflow.Spec, runner *workflow.Runner) ([]MotivationRow, error) {
+	lim := spec.Limits
+	groups := spec.FunctionGroups()
+
+	evalUniform := func(cfg resources.Config) (float64, float64, bool, error) {
+		res, err := runner.MeanEvaluate(resources.Uniform(groups, lim.Snap(cfg)))
+		if err != nil {
+			return 0, 0, false, err
+		}
+		feasible := !res.OOM && res.E2EMS <= spec.SLOMS
+		return res.E2EMS, res.Cost, feasible, nil
+	}
+
+	// Candidate generators per scheme. Memory axis reused by all schemes.
+	memGrid := coarseGrid(lim.MinMemMB, lim.MaxMemMB, 32)
+	cpuGrid := coarseGrid(lim.MinCPU, lim.MaxCPU, 20)
+
+	type scheme struct {
+		name       string
+		candidates []resources.Config
+	}
+	var schemes []scheme
+
+	// AWS-style memory-centric: CPU proportional to memory.
+	var aws []resources.Config
+	for _, m := range memGrid {
+		aws = append(aws, resources.Config{CPU: pricing.AWSCoupledCPU(m), MemMB: m})
+	}
+	schemes = append(schemes, scheme{"aws-coupled", aws})
+
+	// GCF predefined tiers.
+	var gcf []resources.Config
+	for _, t := range pricing.GCFTiers() {
+		gcf = append(gcf, resources.Config{CPU: t.CPU, MemMB: t.MemMB})
+	}
+	schemes = append(schemes, scheme{"gcf-tiers", gcf})
+
+	// Alibaba ratio band: decoupled but constrained to the band.
+	band := pricing.DefaultAlibabaBand()
+	var ali []resources.Config
+	for _, c := range cpuGrid {
+		for _, m := range memGrid {
+			cfg := resources.Config{CPU: c, MemMB: m}
+			if band.Allows(cfg) {
+				ali = append(ali, cfg)
+			}
+		}
+	}
+	schemes = append(schemes, scheme{"alibaba-band", ali})
+
+	// Fully decoupled reference (the same coarse grid, unconstrained).
+	var dec []resources.Config
+	for _, c := range cpuGrid {
+		for _, m := range memGrid {
+			dec = append(dec, resources.Config{CPU: c, MemMB: m})
+		}
+	}
+	schemes = append(schemes, scheme{"decoupled", dec})
+
+	// Find each scheme's cheapest feasible configuration.
+	best := make(map[string]MotivationRow)
+	for _, s := range schemes {
+		row := MotivationRow{Workload: spec.Name, Scheme: s.name, SLOMS: spec.SLOMS, Cost: math.Inf(1)}
+		for _, cfg := range s.candidates {
+			e2e, cost, ok, err := evalUniform(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if ok && cost < row.Cost {
+				row.Config = lim.Snap(cfg)
+				row.E2EMS = e2e
+				row.Cost = cost
+				row.Feasible = true
+			}
+		}
+		best[s.name] = row
+	}
+
+	decoupledCost := best["decoupled"].Cost
+	var rows []MotivationRow
+	for _, s := range schemes {
+		row := best[s.name]
+		if row.Feasible && decoupledCost > 0 && !math.IsInf(decoupledCost, 1) {
+			row.OverPct = (row.Cost - decoupledCost) / decoupledCost * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func coarseGrid(lo, hi float64, n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, lo+(hi-lo)*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// Render prints the scheme comparison.
+func (m MotivationResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Motivation — cost of industry configuration schemes vs full decoupling (§I)")
+	t := &table{header: []string{"workload", "scheme", "config", "e2e_s", "cost_k", "overhead_vs_decoupled"}}
+	for _, r := range m.Rows {
+		cfg, e2e, cost, over := "infeasible", "-", "-", "-"
+		if r.Feasible {
+			cfg = r.Config.String()
+			e2e = fmt.Sprintf("%.1f", r.E2EMS/1000)
+			cost = fmt.Sprintf("%.1f", r.Cost/1000)
+			over = fmt.Sprintf("%+.1f%%", r.OverPct)
+		}
+		t.addRow(r.Workload, r.Scheme, cfg, e2e, cost, over)
+	}
+	t.render(w)
+	fmt.Fprintln(w)
+}

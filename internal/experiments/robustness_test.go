@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestHeadlineOrderingsAcrossSeeds guards the paper's headline claims
+// against seed luck: for several independent seeds, (a) every method's
+// Table II configuration is SLO-compliant, (b) AARC's validated cost is the
+// lowest on every workload, and (c) AARC's total sampling cost beats BO's.
+func TestHeadlineOrderingsAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed robustness sweep skipped in -short mode")
+	}
+	for _, seed := range []uint64{11, 23, 42} {
+		seed := seed
+		t.Run(seedName(seed), func(t *testing.T) {
+			suite := NewSuite(seed)
+			t2, err := RunTable2(suite)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range t2.Rows {
+				// Table II's claim is about the average runtime. MAFF
+				// terminates right at the SLO boundary with no headroom, so
+				// individual noisy runs can exceed it (the paper's own MAFF
+				// at 578.2±19.3 s vs a 600 s SLO implies the same); only
+				// AARC carries the safety margin that §IV-C.a's reliability
+				// argument rests on.
+				tol := 1.02 // one noise-width of slack for the margin-less baselines
+				if row.Method == "AARC" {
+					tol = 1.0 // AARC's margin must hold the mean strictly under
+				}
+				if row.MeanRuntimeMS > row.SLOMS*tol {
+					t.Errorf("seed %d: %s/%s mean runtime %.0f exceeds SLO %.0f",
+						seed, row.Workload, row.Method, row.MeanRuntimeMS, row.SLOMS)
+				}
+				if row.Method == "AARC" && row.Violations > Table2ValidationRuns/20 {
+					t.Errorf("seed %d: AARC on %s violates SLO in %d/%d runs",
+						seed, row.Workload, row.Violations, Table2ValidationRuns)
+				}
+			}
+			for _, w := range Workloads() {
+				if t2.CostReductionPct(w, "BO") <= 0 {
+					t.Errorf("seed %d: AARC not cheaper than BO on %s", seed, w)
+				}
+				if t2.CostReductionPct(w, "MAFF") <= 0 {
+					t.Errorf("seed %d: AARC not cheaper than MAFF on %s", seed, w)
+				}
+			}
+			f5, err := RunFig5(suite)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range Workloads() {
+				if f5.ReductionPct(w, "BO", "cost") <= 0 {
+					t.Errorf("seed %d: AARC sampling cost not below BO on %s", seed, w)
+				}
+			}
+		})
+	}
+}
+
+func seedName(seed uint64) string {
+	return "seed=" + string(rune('0'+seed/10)) + string(rune('0'+seed%10))
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"aarc/internal/workflow"
+	"aarc/internal/workloads"
+)
+
+// ScaleRow is one (workflow size, method) scalability measurement.
+type ScaleRow struct {
+	Functions      int // configurable function groups
+	Nodes          int
+	Method         string
+	Samples        int
+	TotalRuntimeMS float64
+	FinalCost      float64
+	BaseCost       float64
+	FinalE2EMS     float64
+	SLOMS          float64
+	SLOViolated    bool
+}
+
+// ScaleResult is the scalability extension: how each method's sampling
+// effort and achieved savings evolve as workflows grow beyond the paper's
+// three applications (the §II-B concern — "the complexity of serverless
+// applications is further exacerbated by the fact that 46% of applications
+// involve multiple functions").
+type ScaleResult struct {
+	Rows []ScaleRow
+}
+
+// scaleShapes are the synthetic workflow sizes swept by RunScale.
+var scaleShapes = []workloads.SyntheticOptions{
+	{Layers: 2, MaxWidth: 2},
+	{Layers: 3, MaxWidth: 3},
+	{Layers: 4, MaxWidth: 4},
+	{Layers: 6, MaxWidth: 4},
+}
+
+// RunScale sweeps random workflows of growing size with all three methods.
+func RunScale(seed uint64) (ScaleResult, error) {
+	var out ScaleResult
+	for _, shape := range scaleShapes {
+		shape.Seed = seed
+		spec, err := workloads.Synthetic(shape)
+		if err != nil {
+			return ScaleResult{}, err
+		}
+		for _, m := range MethodNames {
+			runner, err := workflow.NewRunner(spec, workflow.RunnerOptions{
+				HostCores: HostCores, Noise: true, Seed: seed,
+			})
+			if err != nil {
+				return ScaleResult{}, err
+			}
+			searcher, err := NewSearcher(m, seed)
+			if err != nil {
+				return ScaleResult{}, err
+			}
+			outcome, err := searcher.Search(runner, spec.SLOMS)
+			if err != nil {
+				return ScaleResult{}, fmt.Errorf("scale %s/%s: %w", spec.Name, m, err)
+			}
+			final, err := runner.Evaluate(outcome.Best)
+			if err != nil {
+				return ScaleResult{}, err
+			}
+			baseRes, err := runner.Evaluate(runner.Base())
+			if err != nil {
+				return ScaleResult{}, err
+			}
+			out.Rows = append(out.Rows, ScaleRow{
+				Functions:      len(spec.FunctionGroups()),
+				Nodes:          spec.G.NumNodes(),
+				Method:         m,
+				Samples:        outcome.Trace.Len(),
+				TotalRuntimeMS: outcome.Trace.TotalRuntimeMS(),
+				FinalCost:      final.Cost,
+				BaseCost:       baseRes.Cost,
+				FinalE2EMS:     final.E2EMS,
+				SLOMS:          spec.SLOMS,
+				SLOViolated:    final.OOM || final.E2EMS > spec.SLOMS,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Render prints the scalability table.
+func (r ScaleResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Scale — search effort and savings vs workflow size (synthetic DAGs; extension)")
+	t := &table{header: []string{"functions", "nodes", "method", "samples", "search_runtime_s", "saving_vs_base", "e2e_s", "slo_s", "slo_ok"}}
+	for _, row := range r.Rows {
+		saving := "-"
+		if row.BaseCost > 0 {
+			saving = fmt.Sprintf("%.1f%%", (row.BaseCost-row.FinalCost)/row.BaseCost*100)
+		}
+		ok := "yes"
+		if row.SLOViolated {
+			ok = "NO"
+		}
+		t.addRow(
+			fmt.Sprintf("%d", row.Functions),
+			fmt.Sprintf("%d", row.Nodes),
+			row.Method,
+			fmt.Sprintf("%d", row.Samples),
+			fmt.Sprintf("%.0f", row.TotalRuntimeMS/1000),
+			saving,
+			fmt.Sprintf("%.1f", row.FinalE2EMS/1000),
+			fmt.Sprintf("%.0f", row.SLOMS/1000),
+			ok,
+		)
+	}
+	t.render(w)
+	fmt.Fprintln(w)
+}
+
+// WriteCSV emits one row per (size, method).
+func (r ScaleResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"functions", "nodes", "method", "samples", "search_runtime_ms", "final_cost", "base_cost", "final_e2e_ms", "slo_ms", "slo_violated"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Functions),
+			fmt.Sprintf("%d", row.Nodes),
+			row.Method,
+			fmt.Sprintf("%d", row.Samples),
+			f(row.TotalRuntimeMS), f(row.FinalCost), f(row.BaseCost), f(row.FinalE2EMS), f(row.SLOMS),
+			fmt.Sprintf("%t", row.SLOViolated),
+		})
+	}
+	return writeAll(w, rows)
+}

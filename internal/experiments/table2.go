@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"aarc/internal/stats"
+	"aarc/internal/workloads"
+)
+
+// Table2ValidationRuns is how many times each final configuration is
+// re-executed (the paper runs each 100 times).
+const Table2ValidationRuns = 100
+
+// Table2Row is one (workload, method) entry of Table II: average runtime ±
+// standard deviation and average cost of the method's chosen configuration.
+type Table2Row struct {
+	Workload      string
+	Method        string
+	MeanRuntimeMS float64
+	StdRuntimeMS  float64
+	MeanCost      float64
+	SLOMS         float64
+	Violations    int // executions exceeding the SLO (paper: none)
+}
+
+// Table2Result reproduces Table II.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// RunTable2 validates each method's chosen configuration with
+// Table2ValidationRuns noisy executions on a fresh runner.
+func RunTable2(s *Suite) (Table2Result, error) {
+	var out Table2Result
+	for _, w := range Workloads() {
+		spec, err := workloads.ByName(w)
+		if err != nil {
+			return Table2Result{}, err
+		}
+		for _, m := range MethodNames {
+			run, err := s.Run(w, m)
+			if err != nil {
+				return Table2Result{}, err
+			}
+			// Fresh runner: validation is independent of the search's RNG
+			// position, but still deterministic per (workload, method).
+			runner, err := NewRunner(spec, s.Seed+0x7ab1e2)
+			if err != nil {
+				return Table2Result{}, err
+			}
+			var e2es, costs []float64
+			violations := 0
+			for i := 0; i < Table2ValidationRuns; i++ {
+				res, err := runner.Evaluate(run.Outcome.Best)
+				if err != nil {
+					return Table2Result{}, err
+				}
+				e2es = append(e2es, res.E2EMS)
+				costs = append(costs, res.Cost)
+				if res.E2EMS > spec.SLOMS {
+					violations++
+				}
+			}
+			out.Rows = append(out.Rows, Table2Row{
+				Workload:      w,
+				Method:        m,
+				MeanRuntimeMS: stats.Mean(e2es),
+				StdRuntimeMS:  stats.SampleStdDev(e2es),
+				MeanCost:      stats.Mean(costs),
+				SLOMS:         spec.SLOMS,
+				Violations:    violations,
+			})
+		}
+	}
+	return out, nil
+}
+
+// CostReductionPct returns AARC's cost reduction against a baseline on one
+// workload (the paper headline: 49.6% vs BO and 61.7% vs MAFF on ML
+// Pipeline).
+func (t Table2Result) CostReductionPct(workload, baseline string) float64 {
+	var aarc, base *Table2Row
+	for i := range t.Rows {
+		r := &t.Rows[i]
+		if r.Workload != workload {
+			continue
+		}
+		switch r.Method {
+		case "AARC":
+			aarc = r
+		case baseline:
+			base = r
+		}
+	}
+	if aarc == nil || base == nil || base.MeanCost == 0 {
+		return 0
+	}
+	return (base.MeanCost - aarc.MeanCost) / base.MeanCost * 100
+}
+
+// Render prints Table II plus the derived reduction percentages.
+func (t Table2Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table II — average runtime and cost over %d executions of each optimal configuration\n", Table2ValidationRuns)
+	tbl := &table{header: []string{"workload", "method", "runtime_s", "cost_k", "slo_s", "violations"}}
+	for _, r := range t.Rows {
+		tbl.addRow(
+			r.Workload, r.Method,
+			fmt.Sprintf("%.1f ± %.1f", r.MeanRuntimeMS/1000, r.StdRuntimeMS/1000),
+			fmt.Sprintf("%.1f", r.MeanCost/1000),
+			fmt.Sprintf("%.0f", r.SLOMS/1000),
+			fmt.Sprintf("%d", r.Violations),
+		)
+	}
+	tbl.render(w)
+	fmt.Fprintln(w)
+	for _, wl := range Workloads() {
+		fmt.Fprintf(w, "%-15s AARC cost reduction: %.1f%% vs BO, %.1f%% vs MAFF\n",
+			wl, t.CostReductionPct(wl, "BO"), t.CostReductionPct(wl, "MAFF"))
+	}
+	fmt.Fprintln(w)
+}

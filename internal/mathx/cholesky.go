@@ -1,0 +1,98 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite reports that a Cholesky factorization failed.
+var ErrNotPositiveDefinite = errors.New("mathx: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L of a symmetric positive
+// definite matrix A such that A = L·Lᵀ. A is not modified. The strictly
+// upper triangle of the returned matrix is zero.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("mathx: Cholesky requires a square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotPositiveDefinite
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveLower solves L·y = b for y, where L is lower triangular with a
+// non-zero diagonal.
+func SolveLower(l *Matrix, b []float64) ([]float64, error) {
+	n := l.Rows
+	if len(b) != n {
+		return nil, errors.New("mathx: SolveLower dimension mismatch")
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		d := l.At(i, i)
+		if d == 0 {
+			return nil, errors.New("mathx: singular lower triangle")
+		}
+		y[i] = s / d
+	}
+	return y, nil
+}
+
+// SolveUpperT solves Lᵀ·x = y for x given the lower triangular factor L.
+func SolveUpperT(l *Matrix, y []float64) ([]float64, error) {
+	n := l.Rows
+	if len(y) != n {
+		return nil, errors.New("mathx: SolveUpperT dimension mismatch")
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		d := l.At(i, i)
+		if d == 0 {
+			return nil, errors.New("mathx: singular lower triangle")
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// CholSolve solves A·x = b given the Cholesky factor L of A (A = L·Lᵀ).
+func CholSolve(l *Matrix, b []float64) ([]float64, error) {
+	y, err := SolveLower(l, b)
+	if err != nil {
+		return nil, err
+	}
+	return SolveUpperT(l, y)
+}
+
+// LogDet returns log(det(A)) given the Cholesky factor L of A.
+func LogDet(l *Matrix) float64 {
+	s := 0.0
+	for i := 0; i < l.Rows; i++ {
+		s += math.Log(l.At(i, i))
+	}
+	return 2 * s
+}

@@ -1,0 +1,30 @@
+package mathx
+
+import "math"
+
+// invSqrt2Pi is 1/sqrt(2π).
+const invSqrt2Pi = 0.3989422804014327
+
+// NormPDF returns the standard normal probability density at x.
+func NormPDF(x float64) float64 {
+	return invSqrt2Pi * math.Exp(-0.5*x*x)
+}
+
+// NormCDF returns the standard normal cumulative distribution at x.
+func NormCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// ExpectedImprovement returns the one-point expected improvement of a
+// Gaussian posterior N(mu, sigma²) below the incumbent best (minimization).
+// A non-positive sigma degenerates to max(0, best-mu).
+func ExpectedImprovement(mu, sigma, best float64) float64 {
+	if sigma <= 0 {
+		if d := best - mu; d > 0 {
+			return d
+		}
+		return 0
+	}
+	z := (best - mu) / sigma
+	return (best-mu)*NormCDF(z) + sigma*NormPDF(z)
+}

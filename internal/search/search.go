@@ -1,0 +1,242 @@
+// Package search defines the abstractions shared by AARC and the baseline
+// configuration searchers: the Evaluator that executes a workflow under a
+// candidate assignment, the per-sample Trace that every experiment figure is
+// derived from, and the Searcher interface all methods implement.
+package search
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"aarc/internal/resources"
+)
+
+// NodeResult is the measured outcome of one function invocation inside a
+// workflow execution.
+type NodeResult struct {
+	Group       string // configuration group (function) the node belongs to
+	Config      resources.Config
+	RuntimeMS   float64 // billed duration, including cold start and contention stretch
+	ColdStartMS float64 // cold-start portion of the runtime
+	Cost        float64
+	StartMS     float64 // start time on the simulated clock
+	FinishMS    float64
+	OOM         bool
+	Skipped     bool // true when an upstream OOM aborted the workflow first
+}
+
+// Result is the outcome of one end-to-end workflow execution.
+type Result struct {
+	E2EMS float64 // makespan of the (possibly aborted) execution
+	Cost  float64 // total cost over all executed invocations
+	Nodes map[string]NodeResult
+	OOM   bool   // some invocation was OOM-killed
+	Fail  string // ID of the first failed node, if any
+}
+
+// PathRuntimeMS sums the runtimes of the listed nodes (a path through the
+// DAG). Skipped nodes contribute zero.
+func (r Result) PathRuntimeMS(path []string) float64 {
+	s := 0.0
+	for _, id := range path {
+		s += r.Nodes[id].RuntimeMS
+	}
+	return s
+}
+
+// GroupCost sums the cost of every node in the given configuration group.
+func (r Result) GroupCost(group string) float64 {
+	s := 0.0
+	for _, nr := range r.Nodes {
+		if nr.Group == group {
+			s += nr.Cost
+		}
+	}
+	return s
+}
+
+// GroupSteadyCost sums the steady-state cost of a group: the billed cost
+// with each node's cold-start portion removed pro rata. Configuration
+// searchers compare steady-state costs so that the one-off cold start a
+// configuration change triggers does not masquerade as a recurring cost
+// increase.
+func (r Result) GroupSteadyCost(group string) float64 {
+	s := 0.0
+	for _, nr := range r.Nodes {
+		if nr.Group != group {
+			continue
+		}
+		if nr.RuntimeMS <= 0 {
+			continue
+		}
+		warmFrac := (nr.RuntimeMS - nr.ColdStartMS) / nr.RuntimeMS
+		if warmFrac < 0 {
+			warmFrac = 0
+		}
+		s += nr.Cost * warmFrac
+	}
+	return s
+}
+
+// NodeWeights returns runtime weights per node ID, for critical-path
+// extraction over the executed DAG.
+func (r Result) NodeWeights() map[string]float64 {
+	w := make(map[string]float64, len(r.Nodes))
+	for id, nr := range r.Nodes {
+		w[id] = nr.RuntimeMS
+	}
+	return w
+}
+
+// Evaluator executes a workflow under a candidate assignment. Evaluate is
+// the only way searchers observe the system; the returned error is reserved
+// for misuse (unknown group, invalid config) — OOM kills are reported
+// in-band through Result.
+type Evaluator interface {
+	// Evaluate runs the workflow once with the given per-group assignment.
+	Evaluate(a resources.Assignment) (Result, error)
+	// Functions lists the configurable function groups in a stable order.
+	Functions() []string
+	// Limits returns the admissible configuration box/grid.
+	Limits() resources.Limits
+	// Base returns the over-provisioned base assignment (Algorithm 1 line 3).
+	Base() resources.Assignment
+}
+
+// Sample is one probe of the configuration space.
+type Sample struct {
+	Index      int
+	Assignment resources.Assignment
+	E2EMS      float64
+	Cost       float64
+	OOM        bool
+	Accepted   bool   // the searcher kept this configuration
+	Note       string // free-form: "init", "revert cpu classify", ...
+}
+
+// Trace is the ordered record of all samples a search performed. Figures 3,
+// 5, 6 and 7 are all derived from traces.
+type Trace struct {
+	Method   string
+	Workload string
+	Samples  []Sample
+}
+
+// Record appends a sample, assigning its index. The assignment is cloned so
+// later mutation by the searcher cannot corrupt the trace.
+func (t *Trace) Record(a resources.Assignment, r Result, accepted bool, note string) {
+	t.Samples = append(t.Samples, Sample{
+		Index:      len(t.Samples),
+		Assignment: a.Clone(),
+		E2EMS:      r.E2EMS,
+		Cost:       r.Cost,
+		OOM:        r.OOM,
+		Accepted:   accepted,
+		Note:       note,
+	})
+}
+
+// Len returns the number of samples (the paper's "sample count").
+func (t *Trace) Len() int { return len(t.Samples) }
+
+// TotalRuntimeMS is the total simulated wall time spent sampling — the
+// quantity of Fig. 5a ("total runtime of the sampling process").
+func (t *Trace) TotalRuntimeMS() float64 {
+	s := 0.0
+	for _, smp := range t.Samples {
+		s += smp.E2EMS
+	}
+	return s
+}
+
+// TotalCost is the total cost incurred while sampling — Fig. 5b.
+func (t *Trace) TotalCost() float64 {
+	s := 0.0
+	for _, smp := range t.Samples {
+		s += smp.Cost
+	}
+	return s
+}
+
+// RuntimeSeries returns the per-sample end-to-end runtimes (Fig. 6).
+func (t *Trace) RuntimeSeries() []float64 {
+	out := make([]float64, len(t.Samples))
+	for i, smp := range t.Samples {
+		out[i] = smp.E2EMS
+	}
+	return out
+}
+
+// CostSeries returns the per-sample workflow costs (Fig. 7).
+func (t *Trace) CostSeries() []float64 {
+	out := make([]float64, len(t.Samples))
+	for i, smp := range t.Samples {
+		out[i] = smp.Cost
+	}
+	return out
+}
+
+// WriteCSV emits the trace as CSV with a header row.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"index", "e2e_ms", "cost", "oom", "accepted", "note", "assignment"}); err != nil {
+		return err
+	}
+	for _, s := range t.Samples {
+		rec := []string{
+			strconv.Itoa(s.Index),
+			strconv.FormatFloat(s.E2EMS, 'f', 3, 64),
+			strconv.FormatFloat(s.Cost, 'f', 3, 64),
+			strconv.FormatBool(s.OOM),
+			strconv.FormatBool(s.Accepted),
+			s.Note,
+			s.Assignment.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Outcome bundles what a searcher returns.
+type Outcome struct {
+	Best  resources.Assignment
+	Trace *Trace
+}
+
+// Searcher is a resource-configuration search method (AARC, BO, MAFF, ...).
+type Searcher interface {
+	// Name identifies the method in tables and figures ("AARC", "BO", "MAFF").
+	Name() string
+	// Search explores configurations of ev's workflow subject to the
+	// end-to-end latency SLO (milliseconds) and returns the chosen
+	// assignment plus the full sampling trace.
+	Search(ev Evaluator, sloMS float64) (Outcome, error)
+}
+
+// ValidateAssignment checks that a configures exactly the evaluator's
+// function groups with valid, in-limits configurations.
+func ValidateAssignment(ev Evaluator, a resources.Assignment) error {
+	lim := ev.Limits()
+	groups := ev.Functions()
+	if len(a) != len(groups) {
+		return fmt.Errorf("search: assignment has %d groups, workflow has %d", len(a), len(groups))
+	}
+	for _, g := range groups {
+		cfg, ok := a[g]
+		if !ok {
+			return fmt.Errorf("search: assignment missing group %q", g)
+		}
+		if !cfg.Valid() {
+			return fmt.Errorf("search: invalid config %v for group %q", cfg, g)
+		}
+		if !lim.Contains(cfg) {
+			return fmt.Errorf("search: config %v for group %q outside limits", cfg, g)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package search
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aarc/internal/resources"
+)
+
+func sampleResult(e2e, cost float64) Result {
+	return Result{
+		E2EMS: e2e,
+		Cost:  cost,
+		Nodes: map[string]NodeResult{
+			"a": {Group: "g1", RuntimeMS: e2e / 2, Cost: cost / 2},
+			"b": {Group: "g2", RuntimeMS: e2e / 2, Cost: cost / 2},
+		},
+	}
+}
+
+func TestTraceRecordAndSeries(t *testing.T) {
+	tr := &Trace{Method: "X"}
+	a := resources.Assignment{"g1": {CPU: 1, MemMB: 128}}
+	tr.Record(a, sampleResult(100, 10), true, "init")
+	tr.Record(a, sampleResult(200, 20), false, "probe")
+
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Samples[0].Index != 0 || tr.Samples[1].Index != 1 {
+		t.Error("indices should be assigned in order")
+	}
+	if got := tr.TotalRuntimeMS(); got != 300 {
+		t.Errorf("TotalRuntimeMS = %v", got)
+	}
+	if got := tr.TotalCost(); got != 30 {
+		t.Errorf("TotalCost = %v", got)
+	}
+	rs := tr.RuntimeSeries()
+	cs := tr.CostSeries()
+	if rs[0] != 100 || rs[1] != 200 || cs[0] != 10 || cs[1] != 20 {
+		t.Errorf("series: %v %v", rs, cs)
+	}
+}
+
+func TestTraceRecordClonesAssignment(t *testing.T) {
+	tr := &Trace{}
+	a := resources.Assignment{"g1": {CPU: 1, MemMB: 128}}
+	tr.Record(a, sampleResult(1, 1), true, "")
+	a["g1"] = resources.Config{CPU: 9, MemMB: 9999}
+	if tr.Samples[0].Assignment["g1"].CPU == 9 {
+		t.Error("trace should hold a snapshot, not a live reference")
+	}
+}
+
+func TestTraceCSV(t *testing.T) {
+	tr := &Trace{Method: "X"}
+	a := resources.Assignment{"g1": {CPU: 1, MemMB: 128}}
+	tr.Record(a, sampleResult(100, 10), true, "init")
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "index,e2e_ms,cost") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "init") || !strings.Contains(lines[1], "g1=") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := Result{
+		Nodes: map[string]NodeResult{
+			"a": {Group: "g", RuntimeMS: 100, ColdStartMS: 20, Cost: 50},
+			"b": {Group: "g", RuntimeMS: 200, Cost: 80},
+			"c": {Group: "h", RuntimeMS: 300, Cost: 10},
+		},
+	}
+	if got := r.PathRuntimeMS([]string{"a", "c"}); got != 400 {
+		t.Errorf("PathRuntimeMS = %v", got)
+	}
+	if got := r.GroupCost("g"); got != 130 {
+		t.Errorf("GroupCost = %v", got)
+	}
+	// Steady cost removes the cold-start fraction: a contributes 50*0.8.
+	if got := r.GroupSteadyCost("g"); got != 50*0.8+80 {
+		t.Errorf("GroupSteadyCost = %v", got)
+	}
+	w := r.NodeWeights()
+	if w["b"] != 200 || len(w) != 3 {
+		t.Errorf("NodeWeights = %v", w)
+	}
+}
+
+func TestGroupSteadyCostEdgeCases(t *testing.T) {
+	r := Result{
+		Nodes: map[string]NodeResult{
+			"z": {Group: "g", RuntimeMS: 0, Cost: 5},                   // zero runtime
+			"o": {Group: "g", RuntimeMS: 10, ColdStartMS: 50, Cost: 5}, // cold > runtime
+		},
+	}
+	if got := r.GroupSteadyCost("g"); got != 0 {
+		t.Errorf("degenerate steady cost = %v, want 0", got)
+	}
+}
+
+// fakeEval implements Evaluator for ValidateAssignment tests.
+type fakeEval struct {
+	groups []string
+	lim    resources.Limits
+	base   resources.Assignment
+}
+
+func (f *fakeEval) Evaluate(resources.Assignment) (Result, error) { return Result{}, nil }
+func (f *fakeEval) Functions() []string                           { return f.groups }
+func (f *fakeEval) Limits() resources.Limits                      { return f.lim }
+func (f *fakeEval) Base() resources.Assignment                    { return f.base.Clone() }
+
+func TestValidateAssignment(t *testing.T) {
+	ev := &fakeEval{
+		groups: []string{"f", "g"},
+		lim:    resources.DefaultLimits(),
+		base: resources.Assignment{
+			"f": {CPU: 1, MemMB: 128},
+			"g": {CPU: 1, MemMB: 128},
+		},
+	}
+	good := ev.Base()
+	if err := ValidateAssignment(ev, good); err != nil {
+		t.Errorf("valid assignment rejected: %v", err)
+	}
+	if err := ValidateAssignment(ev, resources.Assignment{"f": good["f"]}); err == nil {
+		t.Error("missing group should fail")
+	}
+	wrongKey := resources.Assignment{"f": good["f"], "x": good["g"]}
+	if err := ValidateAssignment(ev, wrongKey); err == nil {
+		t.Error("wrong key should fail")
+	}
+	bad := good.Clone()
+	bad["g"] = resources.Config{}
+	if err := ValidateAssignment(ev, bad); err == nil {
+		t.Error("invalid config should fail")
+	}
+	out := good.Clone()
+	out["g"] = resources.Config{CPU: 99, MemMB: 128}
+	if err := ValidateAssignment(ev, out); err == nil {
+		t.Error("out-of-limits config should fail")
+	}
+}

@@ -1,0 +1,249 @@
+// Package simfaas simulates the serverless platform substrate the paper runs
+// on (Docker containers with decoupled cpuset/cgroup limits on a 96-core
+// host): per-function containers keyed by their resource configuration,
+// cold versus warm starts, OOM kills, keep-alive pools, and platform-level
+// invocation metrics.
+//
+// The simulator is deliberately clock-free at this layer: Invoke returns the
+// duration an invocation would take; the workflow engine assembles durations
+// into a makespan on a simulated clock (with CPU contention applied there).
+package simfaas
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"aarc/internal/perfmodel"
+	"aarc/internal/resources"
+)
+
+// Options configures platform behaviour.
+type Options struct {
+	// ColdStartBaseMS is the fixed container provisioning latency.
+	ColdStartBaseMS float64
+	// ColdStartPerGBMS adds per-GB runtime initialization latency (language
+	// runtime + snapshot restore grow with the memory footprint).
+	ColdStartPerGBMS float64
+	// KeepAlive keeps containers warm across invocations; re-invoking the
+	// same function at the same configuration skips the cold start, exactly
+	// like consecutive probes during a configuration search.
+	KeepAlive bool
+	// OOMDetectMS is how long a container runs before the OOM killer fires
+	// on an under-provisioned invocation.
+	OOMDetectMS float64
+	// MaxWarmContainers caps the keep-alive pool; when full, the least
+	// recently used container is evicted to make room (0 = unlimited).
+	MaxWarmContainers int
+}
+
+// DefaultOptions mirrors typical container platforms: ~400 ms provisioning,
+// ~120 ms/GB init, keep-alive on, OOM detected within 200 ms.
+func DefaultOptions() Options {
+	return Options{
+		ColdStartBaseMS:  400,
+		ColdStartPerGBMS: 120,
+		KeepAlive:        true,
+		OOMDetectMS:      200,
+	}
+}
+
+// Metrics aggregates platform counters.
+type Metrics struct {
+	Invocations int
+	ColdStarts  int
+	WarmStarts  int
+	OOMKills    int
+	Evictions   int
+}
+
+// FunctionMetrics aggregates per-container-key counters.
+type FunctionMetrics struct {
+	Invocations int
+	ColdStarts  int
+	OOMKills    int
+}
+
+// Invocation is the outcome of one function invocation on the platform.
+type Invocation struct {
+	RuntimeMS   float64 // total billed duration including cold start
+	ColdStartMS float64
+	Cold        bool
+	OOM         bool
+}
+
+// Platform is a simulated FaaS substrate. It is safe for concurrent use.
+type Platform struct {
+	opts Options
+
+	mu      sync.Mutex
+	warm    map[string]resources.Config // container key -> warm container config
+	lruSeq  map[string]uint64           // container key -> last-use stamp
+	seq     uint64
+	metrics Metrics
+	perFunc map[string]*FunctionMetrics
+}
+
+// New returns a platform with the given options.
+func New(opts Options) *Platform {
+	return &Platform{
+		opts:    opts,
+		warm:    make(map[string]resources.Config),
+		lruSeq:  make(map[string]uint64),
+		perFunc: make(map[string]*FunctionMetrics),
+	}
+}
+
+// touchLocked stamps key as most recently used. Callers hold p.mu.
+func (p *Platform) touchLocked(key string) {
+	p.seq++
+	p.lruSeq[key] = p.seq
+}
+
+// evictIfFullLocked drops the least recently used container when the warm
+// pool is at capacity and key is not already resident. Callers hold p.mu.
+func (p *Platform) evictIfFullLocked(key string) {
+	if p.opts.MaxWarmContainers <= 0 {
+		return
+	}
+	if _, resident := p.warm[key]; resident {
+		return
+	}
+	for len(p.warm) >= p.opts.MaxWarmContainers {
+		victim := ""
+		var oldest uint64
+		for k := range p.warm {
+			if victim == "" || p.lruSeq[k] < oldest {
+				victim, oldest = k, p.lruSeq[k]
+			}
+		}
+		delete(p.warm, victim)
+		delete(p.lruSeq, victim)
+		p.metrics.Evictions++
+	}
+}
+
+// funcMetricsLocked returns (allocating) the per-key metrics. Callers hold
+// p.mu.
+func (p *Platform) funcMetricsLocked(key string) *FunctionMetrics {
+	fm, ok := p.perFunc[key]
+	if !ok {
+		fm = &FunctionMetrics{}
+		p.perFunc[key] = fm
+	}
+	return fm
+}
+
+// ColdStartMS returns the provisioning latency for a container of the given
+// memory size.
+func (p *Platform) ColdStartMS(cfg resources.Config) float64 {
+	return p.opts.ColdStartBaseMS + p.opts.ColdStartPerGBMS*cfg.MemMB/1024
+}
+
+// Invoke runs one invocation of prof at cfg and input scale, using key to
+// identify the container slot (scatter instances of the same function pass
+// distinct keys so each gets its own container). A nil rng disables
+// measurement noise. OOM kills are reported in-band via the OOM flag (the
+// partial duration is still billed); only misuse returns an error.
+func (p *Platform) Invoke(key string, prof perfmodel.Profile, cfg resources.Config, scale float64, rng *rand.Rand) (Invocation, error) {
+	if err := prof.Validate(); err != nil {
+		return Invocation{}, err
+	}
+	if !cfg.Valid() {
+		return Invocation{}, fmt.Errorf("simfaas: invalid config %v for %s", cfg, prof.Name)
+	}
+	if key == "" {
+		key = prof.Name
+	}
+
+	p.mu.Lock()
+	cold := true
+	if p.opts.KeepAlive {
+		if w, ok := p.warm[key]; ok && w == cfg {
+			cold = false
+		}
+	}
+	p.metrics.Invocations++
+	fm := p.funcMetricsLocked(key)
+	fm.Invocations++
+	if cold {
+		p.metrics.ColdStarts++
+		fm.ColdStarts++
+	} else {
+		p.metrics.WarmStarts++
+	}
+	p.mu.Unlock()
+
+	var coldMS float64
+	if cold {
+		coldMS = p.ColdStartMS(cfg)
+	}
+
+	t, err := prof.Runtime(cfg, scale, rng)
+	if err != nil {
+		if perfmodel.IsOOM(err) {
+			p.mu.Lock()
+			p.metrics.OOMKills++
+			p.funcMetricsLocked(key).OOMKills++
+			delete(p.warm, key) // the container died
+			delete(p.lruSeq, key)
+			p.mu.Unlock()
+			partial := prof.OOMPartialMS(cfg, scale)
+			if partial < p.opts.OOMDetectMS {
+				partial = p.opts.OOMDetectMS
+			}
+			return Invocation{
+				RuntimeMS:   coldMS + partial,
+				ColdStartMS: coldMS,
+				Cold:        cold,
+				OOM:         true,
+			}, nil
+		}
+		return Invocation{}, err
+	}
+
+	if p.opts.KeepAlive {
+		p.mu.Lock()
+		p.evictIfFullLocked(key)
+		p.warm[key] = cfg
+		p.touchLocked(key)
+		p.mu.Unlock()
+	}
+	return Invocation{
+		RuntimeMS:   coldMS + t,
+		ColdStartMS: coldMS,
+		Cold:        cold,
+	}, nil
+}
+
+// Metrics returns a snapshot of the platform counters.
+func (p *Platform) Metrics() Metrics {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.metrics
+}
+
+// WarmCount returns the number of warm containers currently held.
+func (p *Platform) WarmCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.warm)
+}
+
+// FunctionMetricsFor returns a snapshot of one container key's counters.
+func (p *Platform) FunctionMetricsFor(key string) FunctionMetrics {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fm, ok := p.perFunc[key]; ok {
+		return *fm
+	}
+	return FunctionMetrics{}
+}
+
+// Flush evicts all warm containers (e.g. between independent experiments).
+func (p *Platform) Flush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.warm = make(map[string]resources.Config)
+	p.lruSeq = make(map[string]uint64)
+}

@@ -1,0 +1,254 @@
+package simfaas
+
+import (
+	"sync"
+	"testing"
+
+	"aarc/internal/perfmodel"
+	"aarc/internal/resources"
+)
+
+func prof() perfmodel.Profile {
+	return perfmodel.Profile{
+		Name: "f", CPUWorkMS: 1000, ParallelFrac: 0.5, MaxParallel: 4, IOMS: 100,
+		FootprintMB: 512, MinMemMB: 256, PressureK: 1,
+	}
+}
+
+func TestColdThenWarm(t *testing.T) {
+	p := New(DefaultOptions())
+	cfg := resources.Config{CPU: 2, MemMB: 1024}
+
+	inv1, err := p.Invoke("k", prof(), cfg, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv1.Cold || inv1.ColdStartMS <= 0 {
+		t.Errorf("first invocation should be cold: %+v", inv1)
+	}
+	wantCold := DefaultOptions().ColdStartBaseMS + DefaultOptions().ColdStartPerGBMS*1024/1024
+	if inv1.ColdStartMS != wantCold {
+		t.Errorf("cold start = %v, want %v", inv1.ColdStartMS, wantCold)
+	}
+
+	inv2, err := p.Invoke("k", prof(), cfg, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv2.Cold || inv2.ColdStartMS != 0 {
+		t.Errorf("second invocation should be warm: %+v", inv2)
+	}
+	if inv2.RuntimeMS >= inv1.RuntimeMS {
+		t.Error("warm run should be faster than cold run")
+	}
+
+	m := p.Metrics()
+	if m.Invocations != 2 || m.ColdStarts != 1 || m.WarmStarts != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestConfigChangeForcesCold(t *testing.T) {
+	p := New(DefaultOptions())
+	a := resources.Config{CPU: 2, MemMB: 1024}
+	b := resources.Config{CPU: 2, MemMB: 2048}
+	if _, err := p.Invoke("k", prof(), a, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	inv, err := p.Invoke("k", prof(), b, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.Cold {
+		t.Error("config change must force a cold start")
+	}
+}
+
+func TestDistinctKeysDistinctContainers(t *testing.T) {
+	p := New(DefaultOptions())
+	cfg := resources.Config{CPU: 2, MemMB: 1024}
+	if _, err := p.Invoke("k1", prof(), cfg, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	inv, err := p.Invoke("k2", prof(), cfg, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.Cold {
+		t.Error("different key should have its own (cold) container")
+	}
+	if p.WarmCount() != 2 {
+		t.Errorf("WarmCount = %d, want 2", p.WarmCount())
+	}
+}
+
+func TestEmptyKeyDefaultsToName(t *testing.T) {
+	p := New(DefaultOptions())
+	cfg := resources.Config{CPU: 2, MemMB: 1024}
+	if _, err := p.Invoke("", prof(), cfg, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	inv, _ := p.Invoke("f", prof(), cfg, 1, nil)
+	if inv.Cold {
+		t.Error("empty key should map to the profile name")
+	}
+}
+
+func TestKeepAliveDisabled(t *testing.T) {
+	opts := DefaultOptions()
+	opts.KeepAlive = false
+	p := New(opts)
+	cfg := resources.Config{CPU: 2, MemMB: 1024}
+	p.Invoke("k", prof(), cfg, 1, nil)
+	inv, _ := p.Invoke("k", prof(), cfg, 1, nil)
+	if !inv.Cold {
+		t.Error("with keep-alive off every invocation is cold")
+	}
+	if p.WarmCount() != 0 {
+		t.Error("no warm containers should be held")
+	}
+}
+
+func TestOOMKill(t *testing.T) {
+	p := New(DefaultOptions())
+	cfg := resources.Config{CPU: 2, MemMB: 128} // below the 256 floor
+	inv, err := p.Invoke("k", prof(), cfg, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.OOM {
+		t.Fatal("expected OOM")
+	}
+	if inv.RuntimeMS <= inv.ColdStartMS {
+		t.Error("OOM run should consume some partial runtime")
+	}
+	if p.Metrics().OOMKills != 1 {
+		t.Errorf("OOMKills = %d", p.Metrics().OOMKills)
+	}
+	if p.WarmCount() != 0 {
+		t.Error("OOM-killed container must not stay warm")
+	}
+	// Partial runtime reflects the would-be execution, not just detection.
+	want := prof().OOMPartialMS(cfg, 1)
+	if inv.RuntimeMS-inv.ColdStartMS != want {
+		t.Errorf("partial = %v, want %v", inv.RuntimeMS-inv.ColdStartMS, want)
+	}
+}
+
+func TestInvokeErrors(t *testing.T) {
+	p := New(DefaultOptions())
+	if _, err := p.Invoke("k", prof(), resources.Config{}, 1, nil); err == nil {
+		t.Error("invalid config should error")
+	}
+	bad := prof()
+	bad.Name = ""
+	if _, err := p.Invoke("k", bad, resources.Config{CPU: 1, MemMB: 512}, 1, nil); err == nil {
+		t.Error("invalid profile should error")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	p := New(DefaultOptions())
+	cfg := resources.Config{CPU: 2, MemMB: 1024}
+	p.Invoke("k", prof(), cfg, 1, nil)
+	p.Flush()
+	if p.WarmCount() != 0 {
+		t.Error("Flush should evict all containers")
+	}
+	inv, _ := p.Invoke("k", prof(), cfg, 1, nil)
+	if !inv.Cold {
+		t.Error("post-flush invocation should be cold")
+	}
+}
+
+func TestConcurrentInvoke(t *testing.T) {
+	p := New(DefaultOptions())
+	cfg := resources.Config{CPU: 1, MemMB: 512}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i%4))
+			if _, err := p.Invoke(key, prof(), cfg, 1, nil); err != nil {
+				t.Errorf("concurrent invoke: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := p.Metrics().Invocations; got != 32 {
+		t.Errorf("Invocations = %d, want 32", got)
+	}
+	if p.WarmCount() != 4 {
+		t.Errorf("WarmCount = %d, want 4", p.WarmCount())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxWarmContainers = 2
+	p := New(opts)
+	cfg := resources.Config{CPU: 1, MemMB: 512}
+
+	p.Invoke("k1", prof(), cfg, 1, nil)
+	p.Invoke("k2", prof(), cfg, 1, nil)
+	// Touch k1 so k2 becomes the LRU victim.
+	p.Invoke("k1", prof(), cfg, 1, nil)
+	p.Invoke("k3", prof(), cfg, 1, nil) // evicts k2
+
+	if p.WarmCount() != 2 {
+		t.Fatalf("WarmCount = %d, want 2", p.WarmCount())
+	}
+	if p.Metrics().Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", p.Metrics().Evictions)
+	}
+	inv1, _ := p.Invoke("k1", prof(), cfg, 1, nil)
+	if inv1.Cold {
+		t.Error("k1 was recently used and must still be warm")
+	}
+	inv2, _ := p.Invoke("k2", prof(), cfg, 1, nil)
+	if !inv2.Cold {
+		t.Error("k2 should have been evicted (cold)")
+	}
+}
+
+func TestLRUReinvocationDoesNotEvict(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxWarmContainers = 1
+	p := New(opts)
+	cfg := resources.Config{CPU: 1, MemMB: 512}
+	p.Invoke("k", prof(), cfg, 1, nil)
+	p.Invoke("k", prof(), cfg, 1, nil)
+	if p.Metrics().Evictions != 0 {
+		t.Errorf("re-invoking the resident key must not evict: %d", p.Metrics().Evictions)
+	}
+}
+
+func TestPerFunctionMetrics(t *testing.T) {
+	p := New(DefaultOptions())
+	cfg := resources.Config{CPU: 1, MemMB: 512}
+	p.Invoke("a", prof(), cfg, 1, nil)
+	p.Invoke("a", prof(), cfg, 1, nil)
+	p.Invoke("b", prof(), resources.Config{CPU: 1, MemMB: 128}, 1, nil) // OOM
+
+	a := p.FunctionMetricsFor("a")
+	if a.Invocations != 2 || a.ColdStarts != 1 || a.OOMKills != 0 {
+		t.Errorf("a metrics = %+v", a)
+	}
+	b := p.FunctionMetricsFor("b")
+	if b.Invocations != 1 || b.OOMKills != 1 {
+		t.Errorf("b metrics = %+v", b)
+	}
+	if z := p.FunctionMetricsFor("zz"); z != (FunctionMetrics{}) {
+		t.Errorf("unknown key metrics = %+v", z)
+	}
+}
+
+func TestColdStartScalesWithMemory(t *testing.T) {
+	p := New(DefaultOptions())
+	small := p.ColdStartMS(resources.Config{CPU: 1, MemMB: 512})
+	large := p.ColdStartMS(resources.Config{CPU: 1, MemMB: 8192})
+	if large <= small {
+		t.Error("cold start should grow with memory size")
+	}
+}

@@ -1,0 +1,90 @@
+// Package testutil provides small, fast workflow fixtures shared by the
+// test suites of the search packages: a three-function chain, a diamond with
+// one detour branch, and ready-made runners over them. All fixtures use the
+// real DAG / perfmodel / workflow machinery, so searcher tests exercise the
+// same code paths as production.
+package testutil
+
+import (
+	"testing"
+
+	"aarc/internal/dag"
+	"aarc/internal/perfmodel"
+	"aarc/internal/resources"
+	"aarc/internal/workflow"
+)
+
+// ChainSpec builds a three-function serial chain a → b → c with moderate,
+// well-conditioned profiles and the given SLO (milliseconds).
+func ChainSpec(sloMS float64) *workflow.Spec {
+	g := dag.New()
+	g.MustAddNode("a")
+	g.MustAddNode("b")
+	g.MustAddNode("c")
+	g.MustAddEdge("a", "b")
+	g.MustAddEdge("b", "c")
+
+	spec := &workflow.Spec{
+		Name: "chain3",
+		G:    g,
+		Profiles: map[string]perfmodel.Profile{
+			"a": {Name: "a", CPUWorkMS: 2000, ParallelFrac: 0.5, MaxParallel: 4, IOMS: 500,
+				FootprintMB: 256, MinMemMB: 128, PressureK: 1},
+			"b": {Name: "b", CPUWorkMS: 10_000, ParallelFrac: 0.5, MaxParallel: 8, IOMS: 1000,
+				FootprintMB: 512, MinMemMB: 256, PressureK: 1},
+			"c": {Name: "c", CPUWorkMS: 3000, ParallelFrac: 0.5, MaxParallel: 4, IOMS: 500,
+				FootprintMB: 256, MinMemMB: 128, PressureK: 1},
+		},
+		SLOMS:  sloMS,
+		Limits: resources.DefaultLimits(),
+	}
+	spec.Base = resources.Uniform(spec.FunctionGroups(), resources.Config{CPU: 4, MemMB: 2048})
+	return spec
+}
+
+// DiamondSpec builds a diamond: s → (m1 | m2) → t, where m1 is the heavy
+// (critical) branch and m2 a lighter detour branch.
+func DiamondSpec(sloMS float64) *workflow.Spec {
+	g := dag.New()
+	g.MustAddNode("s")
+	g.MustAddNode("m1")
+	g.MustAddNode("m2")
+	g.MustAddNode("t")
+	g.MustAddEdge("s", "m1")
+	g.MustAddEdge("s", "m2")
+	g.MustAddEdge("m1", "t")
+	g.MustAddEdge("m2", "t")
+
+	spec := &workflow.Spec{
+		Name: "diamond",
+		G:    g,
+		Profiles: map[string]perfmodel.Profile{
+			"s": {Name: "s", CPUWorkMS: 1000, ParallelFrac: 0, IOMS: 200,
+				FootprintMB: 256, MinMemMB: 128, PressureK: 1},
+			"m1": {Name: "m1", CPUWorkMS: 20_000, ParallelFrac: 0.5, MaxParallel: 8, IOMS: 500,
+				FootprintMB: 512, MinMemMB: 256, PressureK: 1},
+			"m2": {Name: "m2", CPUWorkMS: 6000, ParallelFrac: 0.5, MaxParallel: 8, IOMS: 500,
+				FootprintMB: 512, MinMemMB: 256, PressureK: 1},
+			"t": {Name: "t", CPUWorkMS: 1000, ParallelFrac: 0, IOMS: 200,
+				FootprintMB: 256, MinMemMB: 128, PressureK: 1},
+		},
+		SLOMS:  sloMS,
+		Limits: resources.DefaultLimits(),
+	}
+	spec.Base = resources.Uniform(spec.FunctionGroups(), resources.Config{CPU: 4, MemMB: 2048})
+	return spec
+}
+
+// NewRunner wraps workflow.NewRunner with test-friendly failure handling.
+func NewRunner(t *testing.T, spec *workflow.Spec, noise bool, seed uint64) *workflow.Runner {
+	t.Helper()
+	r, err := workflow.NewRunner(spec, workflow.RunnerOptions{
+		HostCores: 96,
+		Noise:     noise,
+		Seed:      seed,
+	})
+	if err != nil {
+		t.Fatalf("NewRunner(%s): %v", spec.Name, err)
+	}
+	return r
+}

@@ -1,0 +1,40 @@
+package workflow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeSpec asserts DecodeSpec never panics on arbitrary input and
+// that any successfully decoded spec validates, is executable, and survives
+// an encode/decode round trip.
+func FuzzDecodeSpec(f *testing.F) {
+	f.Add(sampleSpecJSON)
+	f.Add(`{}`)
+	f.Add(`{"name":"x"}`)
+	f.Add(`not json at all`)
+	f.Add(`{"name":"x","slo_ms":1000,"nodes":[],"edges":[],"base":{"cpu":1,"mem_mb":512}}`)
+	f.Add(`{"name":"x","slo_ms":1e308,"nodes":[{"id":"a","profile":{"footprint_mb":256,"min_mem_mb":128}}],"edges":[],"base":{"cpu":1,"mem_mb":512}}`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := DecodeSpec(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("DecodeSpec returned an invalid spec: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeSpec(&buf, spec); err != nil {
+			t.Fatalf("valid spec failed to encode: %v", err)
+		}
+		back, err := DecodeSpec(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, buf.String())
+		}
+		if back.G.NumNodes() != spec.G.NumNodes() || back.G.NumEdges() != spec.G.NumEdges() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

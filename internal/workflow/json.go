@@ -1,0 +1,180 @@
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"aarc/internal/dag"
+	"aarc/internal/perfmodel"
+	"aarc/internal/resources"
+)
+
+// specJSON is the on-disk workflow definition format accepted by
+// DecodeSpec: the shape a developer submits to the platform (step ❶ of
+// Fig. 4), with profile metadata standing in for real function code.
+//
+//	{
+//	  "name": "my-workflow",
+//	  "slo_ms": 120000,
+//	  "nodes": [
+//	    {"id": "start", "profile": {...}},
+//	    {"id": "work_1", "group": "work", "profile": {...}}
+//	  ],
+//	  "edges": [["start", "work_1"]],
+//	  "base": {"cpu": 4, "mem_mb": 4096},
+//	  "limits": {...}          // optional, defaults to the paper grid
+//	}
+type specJSON struct {
+	Name   string      `json:"name"`
+	SLOMS  float64     `json:"slo_ms"`
+	Nodes  []nodeJSON  `json:"nodes"`
+	Edges  [][2]string `json:"edges"`
+	Base   configJSON  `json:"base"`
+	Limits *limitsJSON `json:"limits,omitempty"`
+}
+
+type nodeJSON struct {
+	ID      string      `json:"id"`
+	Group   string      `json:"group,omitempty"`
+	Profile profileJSON `json:"profile"`
+}
+
+type profileJSON struct {
+	CPUWorkMS      float64 `json:"cpu_work_ms"`
+	ParallelFrac   float64 `json:"parallel_frac"`
+	MaxParallel    float64 `json:"max_parallel,omitempty"`
+	IOMS           float64 `json:"io_ms,omitempty"`
+	FootprintMB    float64 `json:"footprint_mb"`
+	MinMemMB       float64 `json:"min_mem_mb"`
+	PressureK      float64 `json:"pressure_k,omitempty"`
+	NoiseStd       float64 `json:"noise_std,omitempty"`
+	InputSensitive bool    `json:"input_sensitive,omitempty"`
+}
+
+type configJSON struct {
+	CPU   float64 `json:"cpu"`
+	MemMB float64 `json:"mem_mb"`
+}
+
+type limitsJSON struct {
+	MinCPU    float64 `json:"min_cpu"`
+	MaxCPU    float64 `json:"max_cpu"`
+	CPUStep   float64 `json:"cpu_step"`
+	MinMemMB  float64 `json:"min_mem_mb"`
+	MaxMemMB  float64 `json:"max_mem_mb"`
+	MemStepMB float64 `json:"mem_step_mb"`
+}
+
+// DecodeSpec parses a JSON workflow definition and validates it.
+func DecodeSpec(r io.Reader) (*Spec, error) {
+	var sj specJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sj); err != nil {
+		return nil, fmt.Errorf("workflow: decoding spec: %w", err)
+	}
+
+	g := dag.New()
+	profiles := make(map[string]perfmodel.Profile, len(sj.Nodes))
+	groups := make(map[string]string)
+	for _, n := range sj.Nodes {
+		if err := g.AddNode(n.ID); err != nil {
+			return nil, err
+		}
+		profiles[n.ID] = perfmodel.Profile{
+			Name:           n.ID,
+			CPUWorkMS:      n.Profile.CPUWorkMS,
+			ParallelFrac:   n.Profile.ParallelFrac,
+			MaxParallel:    n.Profile.MaxParallel,
+			IOMS:           n.Profile.IOMS,
+			FootprintMB:    n.Profile.FootprintMB,
+			MinMemMB:       n.Profile.MinMemMB,
+			PressureK:      n.Profile.PressureK,
+			NoiseStd:       n.Profile.NoiseStd,
+			InputSensitive: n.Profile.InputSensitive,
+		}
+		if n.Group != "" {
+			groups[n.ID] = n.Group
+		}
+	}
+	for _, e := range sj.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+
+	lim := resources.DefaultLimits()
+	if sj.Limits != nil {
+		lim = resources.Limits{
+			MinCPU: sj.Limits.MinCPU, MaxCPU: sj.Limits.MaxCPU, CPUStep: sj.Limits.CPUStep,
+			MinMemMB: sj.Limits.MinMemMB, MaxMemMB: sj.Limits.MaxMemMB, MemStepMB: sj.Limits.MemStepMB,
+		}
+	}
+
+	spec := &Spec{
+		Name:     sj.Name,
+		G:        g,
+		Profiles: profiles,
+		Groups:   groups,
+		SLOMS:    sj.SLOMS,
+		Limits:   lim,
+	}
+	base := resources.Config{CPU: sj.Base.CPU, MemMB: sj.Base.MemMB}
+	spec.Base = resources.Uniform(spec.FunctionGroups(), base)
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// EncodeSpec writes the spec in the DecodeSpec JSON format. The uniform base
+// configuration is taken from the first group (EncodeSpec is intended for
+// specs built with a uniform base, as DecodeSpec produces).
+func EncodeSpec(w io.Writer, spec *Spec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	sj := specJSON{
+		Name:  spec.Name,
+		SLOMS: spec.SLOMS,
+	}
+	for _, id := range spec.G.Nodes() {
+		p := spec.Profiles[id]
+		n := nodeJSON{
+			ID: id,
+			Profile: profileJSON{
+				CPUWorkMS:      p.CPUWorkMS,
+				ParallelFrac:   p.ParallelFrac,
+				MaxParallel:    p.MaxParallel,
+				IOMS:           p.IOMS,
+				FootprintMB:    p.FootprintMB,
+				MinMemMB:       p.MinMemMB,
+				PressureK:      p.PressureK,
+				NoiseStd:       p.NoiseStd,
+				InputSensitive: p.InputSensitive,
+			},
+		}
+		if grp := spec.Groups[id]; grp != "" && grp != id {
+			n.Group = grp
+		}
+		sj.Nodes = append(sj.Nodes, n)
+	}
+	for _, from := range spec.G.Nodes() {
+		for _, to := range spec.G.Succ(from) {
+			sj.Edges = append(sj.Edges, [2]string{from, to})
+		}
+	}
+	if len(spec.FunctionGroups()) > 0 {
+		b := spec.Base[spec.FunctionGroups()[0]]
+		sj.Base = configJSON{CPU: b.CPU, MemMB: b.MemMB}
+	}
+	lim := spec.Limits
+	sj.Limits = &limitsJSON{
+		MinCPU: lim.MinCPU, MaxCPU: lim.MaxCPU, CPUStep: lim.CPUStep,
+		MinMemMB: lim.MinMemMB, MaxMemMB: lim.MaxMemMB, MemStepMB: lim.MemStepMB,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sj)
+}

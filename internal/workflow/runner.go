@@ -1,0 +1,294 @@
+package workflow
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"aarc/internal/dag"
+	"aarc/internal/pricing"
+	"aarc/internal/resources"
+	"aarc/internal/search"
+	"aarc/internal/simfaas"
+)
+
+// RunnerOptions configures workflow execution.
+type RunnerOptions struct {
+	// HostCores is the host CPU capacity shared by concurrently running
+	// containers (the paper's testbed has 96 physical cores). Zero disables
+	// contention.
+	HostCores float64
+	// Noise enables the profiles' multiplicative measurement noise.
+	Noise bool
+	// Seed seeds the runner's deterministic RNG stream.
+	Seed uint64
+	// Platform overrides the default simulated platform.
+	Platform *simfaas.Platform
+	// Price overrides the default (paper) pricing model.
+	Price *pricing.Model
+	// InputScale is the default input scale (1.0 when zero).
+	InputScale float64
+}
+
+// Runner executes a Spec on the simulated platform and implements
+// search.Evaluator. It is not safe for concurrent use (searchers are
+// sequential by nature); create one runner per goroutine if needed.
+type Runner struct {
+	spec     *Spec
+	platform *simfaas.Platform
+	price    pricing.Model
+	cores    float64
+	noise    bool
+	scale    float64
+	rng      *rand.Rand
+}
+
+// NewRunner validates the spec and builds a runner.
+func NewRunner(spec *Spec, opts RunnerOptions) (*Runner, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		spec:  spec,
+		cores: opts.HostCores,
+		noise: opts.Noise,
+		scale: opts.InputScale,
+	}
+	if r.scale <= 0 {
+		r.scale = 1
+	}
+	if opts.Platform != nil {
+		r.platform = opts.Platform
+	} else {
+		r.platform = simfaas.New(simfaas.DefaultOptions())
+	}
+	if opts.Price != nil {
+		r.price = *opts.Price
+	} else {
+		r.price = pricing.Paper()
+	}
+	r.rng = rand.New(rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15))
+	return r, nil
+}
+
+// Spec returns the workflow specification the runner executes.
+func (r *Runner) Spec() *Spec { return r.spec }
+
+// Graph returns the workflow DAG (for graph-centric searchers).
+func (r *Runner) Graph() *dag.Graph { return r.spec.G }
+
+// GroupOf returns the configuration group of a DAG node.
+func (r *Runner) GroupOf(node string) string { return r.spec.GroupOf(node) }
+
+// Platform exposes the simulated platform (for metrics inspection).
+func (r *Runner) Platform() *simfaas.Platform { return r.platform }
+
+// Price returns the active pricing model.
+func (r *Runner) Price() pricing.Model { return r.price }
+
+// SLOMS returns the workflow's end-to-end SLO in milliseconds.
+func (r *Runner) SLOMS() float64 { return r.spec.SLOMS }
+
+// Functions implements search.Evaluator.
+func (r *Runner) Functions() []string { return r.spec.FunctionGroups() }
+
+// Limits implements search.Evaluator.
+func (r *Runner) Limits() resources.Limits { return r.spec.Limits }
+
+// Base implements search.Evaluator.
+func (r *Runner) Base() resources.Assignment { return r.spec.Base.Clone() }
+
+// Evaluate implements search.Evaluator at the runner's default input scale.
+func (r *Runner) Evaluate(a resources.Assignment) (search.Result, error) {
+	return r.EvaluateScale(a, r.scale)
+}
+
+// nodeRun tracks one node's execution through the fluid simulation.
+type nodeRun struct {
+	id        string
+	remaining float64 // remaining duration at rate 1
+	cpu       float64
+	start     float64
+}
+
+// EvaluateScale executes the workflow once under assignment a at the given
+// input scale. End-to-end latency is the makespan of an event-driven fluid
+// simulation: whenever the total vCPU demand of concurrently running
+// containers exceeds the host capacity, all running invocations progress at
+// rate capacity/demand (processor sharing), stretching their billed
+// durations — which is what cgroup CPU shares do on the paper's testbed.
+//
+// An OOM kill aborts the workflow: in-flight branches finish, but no new
+// node starts afterwards, and downstream nodes are reported Skipped.
+func (r *Runner) EvaluateScale(a resources.Assignment, scale float64) (search.Result, error) {
+	spec := r.spec
+	res := search.Result{Nodes: make(map[string]search.NodeResult, spec.G.NumNodes())}
+
+	cfgOf := func(node string) (resources.Config, error) {
+		g := spec.GroupOf(node)
+		cfg, ok := a[g]
+		if !ok {
+			return resources.Config{}, fmt.Errorf("workflow %s: assignment missing group %q (node %q)", spec.Name, g, node)
+		}
+		if !cfg.Valid() {
+			return resources.Config{}, fmt.Errorf("workflow %s: invalid config %v for group %q", spec.Name, cfg, g)
+		}
+		return cfg, nil
+	}
+
+	topo, err := spec.G.TopoSort()
+	if err != nil {
+		return res, err
+	}
+	indeg := make(map[string]int, len(topo))
+	for _, id := range topo {
+		indeg[id] = len(spec.G.Pred(id))
+	}
+
+	var rng *rand.Rand
+	if r.noise {
+		rng = r.rng
+	}
+
+	// ready holds nodes whose predecessors have all finished, in
+	// deterministic (topo-index) order.
+	topoIdx := make(map[string]int, len(topo))
+	for i, id := range topo {
+		topoIdx[id] = i
+	}
+	var ready []string
+	for _, id := range topo {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+
+	var running []*nodeRun
+	now := 0.0
+	failed := false
+
+	startNode := func(id string) error {
+		cfg, err := cfgOf(id)
+		if err != nil {
+			return err
+		}
+		inv, err := r.platform.Invoke(id, spec.Profiles[id], cfg, scale, rng)
+		if err != nil {
+			return err
+		}
+		nr := search.NodeResult{
+			Group:       spec.GroupOf(id),
+			Config:      cfg,
+			ColdStartMS: inv.ColdStartMS,
+			OOM:         inv.OOM,
+			StartMS:     now,
+		}
+		res.Nodes[id] = nr
+		running = append(running, &nodeRun{id: id, remaining: inv.RuntimeMS, cpu: cfg.CPU})
+		running[len(running)-1].start = now
+		return nil
+	}
+
+	finishNode := func(run *nodeRun, finish float64) {
+		nr := res.Nodes[run.id]
+		nr.FinishMS = finish
+		nr.RuntimeMS = finish - run.start
+		nr.Cost = r.price.Invocation(nr.RuntimeMS, nr.Config)
+		res.Nodes[run.id] = nr
+		res.Cost += nr.Cost
+		if finish > res.E2EMS {
+			res.E2EMS = finish
+		}
+		if nr.OOM {
+			// The kill becomes visible to the orchestrator only now: the
+			// workflow fails, in-flight siblings drain, nothing new starts.
+			res.OOM = true
+			failed = true
+			if res.Fail == "" {
+				res.Fail = run.id
+			}
+		}
+		if !nr.OOM {
+			for _, s := range spec.G.Succ(run.id) {
+				indeg[s]--
+				if indeg[s] == 0 {
+					pos := sort.Search(len(ready), func(i int) bool { return topoIdx[ready[i]] > topoIdx[s] })
+					ready = append(ready, "")
+					copy(ready[pos+1:], ready[pos:])
+					ready[pos] = s
+				}
+			}
+		}
+	}
+
+	for len(ready) > 0 || len(running) > 0 {
+		// Launch everything ready (unless the workflow already failed).
+		if !failed {
+			for len(ready) > 0 {
+				id := ready[0]
+				ready = ready[1:]
+				if err := startNode(id); err != nil {
+					return res, err
+				}
+			}
+		} else {
+			for _, id := range ready {
+				nr := res.Nodes[id]
+				nr.Skipped = true
+				nr.Group = spec.GroupOf(id)
+				res.Nodes[id] = nr
+			}
+			ready = nil
+		}
+		if len(running) == 0 {
+			break
+		}
+
+		// Processor-sharing rate for the current running set.
+		demand := 0.0
+		for _, run := range running {
+			demand += run.cpu
+		}
+		rate := 1.0
+		if r.cores > 0 && demand > r.cores {
+			rate = r.cores / demand
+		}
+
+		// Advance to the earliest completion.
+		dt := math.Inf(1)
+		for _, run := range running {
+			if d := run.remaining / rate; d < dt {
+				dt = d
+			}
+		}
+		now += dt
+		var still []*nodeRun
+		for _, run := range running {
+			run.remaining -= dt * rate
+			if run.remaining <= 1e-9 {
+				finishNode(run, now)
+			} else {
+				still = append(still, run)
+			}
+		}
+		running = still
+	}
+
+	// Mark never-started downstream nodes as skipped.
+	for _, id := range topo {
+		if _, ok := res.Nodes[id]; !ok {
+			res.Nodes[id] = search.NodeResult{Group: spec.GroupOf(id), Skipped: true}
+		}
+	}
+	return res, nil
+}
+
+// MeanEvaluate runs Evaluate with noise forced off (useful for heatmaps and
+// deterministic assertions) regardless of the runner's Noise option.
+func (r *Runner) MeanEvaluate(a resources.Assignment) (search.Result, error) {
+	saved := r.noise
+	r.noise = false
+	defer func() { r.noise = saved }()
+	return r.Evaluate(a)
+}

@@ -1,0 +1,165 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"aarc/internal/dag"
+	"aarc/internal/perfmodel"
+	"aarc/internal/resources"
+	"aarc/internal/workflow"
+)
+
+// SyntheticOptions parameterizes the random workflow generator. The
+// generator exists because 46% of serverless applications are multi-function
+// workflows of widely varying shapes (Shahrad et al., cited as [7] in the
+// paper); it lets the scalability experiment and the property-based tests
+// exercise the searchers on DAGs beyond the three paper workloads.
+type SyntheticOptions struct {
+	// Layers is the number of stages between the implicit start and end
+	// functions (≥1).
+	Layers int
+	// MaxWidth bounds the number of parallel functions per stage (≥1).
+	MaxWidth int
+	// Seed drives the topology and profile draws.
+	Seed uint64
+	// SLOFactor sets the SLO as a multiple of the base-configuration
+	// critical-path runtime (default 2.0 when zero). Values ≤1 make the
+	// base configuration infeasible.
+	SLOFactor float64
+}
+
+// profile archetypes the generator draws from: compute-bound, memory-bound,
+// I/O-bound and balanced functions, covering the affinity spectrum of §II-A.
+func syntheticArchetype(rng *rand.Rand, name string) perfmodel.Profile {
+	base := perfmodel.Profile{Name: name, NoiseStd: 0.02, PressureK: 1.5}
+	scale := 0.5 + rng.Float64()*1.5 // per-function work multiplier
+	switch rng.IntN(4) {
+	case 0: // compute-bound, highly parallel
+		base.CPUWorkMS = 30_000 * scale
+		base.ParallelFrac = 0.8 + rng.Float64()*0.15
+		base.MaxParallel = 8
+		base.IOMS = 500
+		base.FootprintMB = 512
+		base.MinMemMB = 256
+	case 1: // memory-bound
+		base.CPUWorkMS = 20_000 * scale
+		base.ParallelFrac = 0.6
+		base.MaxParallel = 8
+		base.IOMS = 1000
+		base.FootprintMB = 3072 + float64(rng.IntN(4))*1024
+		base.MinMemMB = base.FootprintMB / 2
+		base.PressureK = 2
+	case 2: // I/O-bound
+		base.CPUWorkMS = 3000 * scale
+		base.ParallelFrac = 0.2
+		base.MaxParallel = 2
+		base.IOMS = 8000 * scale
+		base.FootprintMB = 512
+		base.MinMemMB = 256
+	default: // balanced
+		base.CPUWorkMS = 12_000 * scale
+		base.ParallelFrac = 0.5
+		base.MaxParallel = 4
+		base.IOMS = 2000
+		base.FootprintMB = 1024
+		base.MinMemMB = 512
+	}
+	return base
+}
+
+// Synthetic generates a random layered workflow: start → L1 → … → Ln → end,
+// where every stage node has at least one predecessor in the previous stage
+// and extra cross edges appear with moderate probability. The SLO is set
+// relative to the base configuration's critical-path runtime so generated
+// workflows are always configurable.
+func Synthetic(opts SyntheticOptions) (*workflow.Spec, error) {
+	if opts.Layers < 1 {
+		return nil, fmt.Errorf("workloads: Synthetic needs >=1 layer, got %d", opts.Layers)
+	}
+	if opts.MaxWidth < 1 {
+		return nil, fmt.Errorf("workloads: Synthetic needs MaxWidth >=1, got %d", opts.MaxWidth)
+	}
+	if opts.SLOFactor == 0 {
+		opts.SLOFactor = 2
+	}
+	if opts.SLOFactor <= 1 {
+		return nil, fmt.Errorf("workloads: SLOFactor must exceed 1, got %v", opts.SLOFactor)
+	}
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x5e17))
+
+	g := dag.New()
+	profiles := map[string]perfmodel.Profile{}
+
+	g.MustAddNode("start")
+	profiles["start"] = perfmodel.Profile{
+		Name: "start", CPUWorkMS: 500, IOMS: 500,
+		FootprintMB: 256, MinMemMB: 128, PressureK: 1, NoiseStd: 0.02,
+	}
+	prev := []string{"start"}
+	for l := 0; l < opts.Layers; l++ {
+		width := 1 + rng.IntN(opts.MaxWidth)
+		var cur []string
+		for i := 0; i < width; i++ {
+			id := fmt.Sprintf("f%02d_%02d", l+1, i+1)
+			g.MustAddNode(id)
+			profiles[id] = syntheticArchetype(rng, id)
+			cur = append(cur, id)
+			// Guaranteed predecessor keeps the DAG connected.
+			g.MustAddEdge(prev[rng.IntN(len(prev))], id)
+			for _, p := range prev {
+				if rng.Float64() < 0.25 {
+					// Ignore duplicate-edge errors from the guaranteed pick.
+					_ = g.AddEdge(p, id)
+				}
+			}
+		}
+		prev = cur
+	}
+	g.MustAddNode("end")
+	profiles["end"] = perfmodel.Profile{
+		Name: "end", CPUWorkMS: 500, IOMS: 500,
+		FootprintMB: 256, MinMemMB: 128, PressureK: 1, NoiseStd: 0.02,
+	}
+	for _, p := range prev {
+		g.MustAddEdge(p, "end")
+	}
+	// Stage nodes that ended up without successors (when later layers
+	// attached elsewhere) drain to end too, keeping a single sink.
+	for _, id := range g.Nodes() {
+		if id != "end" && len(g.Succ(id)) == 0 {
+			g.MustAddEdge(id, "end")
+		}
+	}
+
+	base := resources.Config{CPU: 4, MemMB: 8192}
+	spec := &workflow.Spec{
+		Name:     fmt.Sprintf("synthetic-%dx%d-%d", opts.Layers, opts.MaxWidth, opts.Seed),
+		G:        g,
+		Profiles: profiles,
+		SLOMS:    1, // placeholder until computed below
+		Limits:   resources.DefaultLimits(),
+	}
+	spec.Base = resources.Uniform(spec.FunctionGroups(), base)
+
+	// SLO: SLOFactor × the base critical-path runtime (analytic, noise-free).
+	weights := make(map[string]float64, len(profiles))
+	for id, p := range profiles {
+		t, err := p.MeanRuntime(base, 1)
+		if err != nil {
+			return nil, err
+		}
+		weights[id] = t
+	}
+	_, cpWeight, err := dag.CriticalPath(g, weights)
+	if err != nil {
+		return nil, err
+	}
+	// Head-room for cold starts (~1s per critical function).
+	spec.SLOMS = opts.SLOFactor*cpWeight + 5_000
+
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}

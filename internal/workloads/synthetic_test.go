@@ -1,0 +1,82 @@
+package workloads
+
+import (
+	"testing"
+
+	"aarc/internal/workflow"
+)
+
+func TestSyntheticOptionErrors(t *testing.T) {
+	if _, err := Synthetic(SyntheticOptions{Layers: 0, MaxWidth: 2}); err == nil {
+		t.Error("zero layers should error")
+	}
+	if _, err := Synthetic(SyntheticOptions{Layers: 2, MaxWidth: 0}); err == nil {
+		t.Error("zero width should error")
+	}
+	if _, err := Synthetic(SyntheticOptions{Layers: 2, MaxWidth: 2, SLOFactor: 0.5}); err == nil {
+		t.Error("SLOFactor <= 1 should error")
+	}
+}
+
+// Property: every generated workflow validates, has a single source and a
+// single sink, and its base configuration meets the SLO.
+func TestSyntheticValidAcrossSeeds(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		spec, err := Synthetic(SyntheticOptions{Layers: 3, MaxWidth: 3, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if src := spec.G.Sources(); len(src) != 1 || src[0] != "start" {
+			t.Errorf("seed %d: sources = %v", seed, src)
+		}
+		if snk := spec.G.Sinks(); len(snk) != 1 || snk[0] != "end" {
+			t.Errorf("seed %d: sinks = %v", seed, snk)
+		}
+		runner, err := workflow.NewRunner(spec, workflow.RunnerOptions{HostCores: 96})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runner.MeanEvaluate(spec.Base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OOM {
+			t.Errorf("seed %d: base config OOMs", seed)
+		}
+		if res.E2EMS > spec.SLOMS {
+			t.Errorf("seed %d: base e2e %.0f exceeds auto-SLO %.0f", seed, res.E2EMS, spec.SLOMS)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, err := Synthetic(SyntheticOptions{Layers: 3, MaxWidth: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(SyntheticOptions{Layers: 3, MaxWidth: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.G.NumNodes() != b.G.NumNodes() || a.G.NumEdges() != b.G.NumEdges() || a.SLOMS != b.SLOMS {
+		t.Error("same seed should generate the identical workflow")
+	}
+	c, err := Synthetic(SyntheticOptions{Layers: 3, MaxWidth: 3, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.G.NumNodes() == c.G.NumNodes() && a.G.NumEdges() == c.G.NumEdges() && a.SLOMS == c.SLOMS {
+		t.Error("different seeds should (very likely) generate different workflows")
+	}
+}
+
+func TestSyntheticSizeGrowsWithShape(t *testing.T) {
+	small, _ := Synthetic(SyntheticOptions{Layers: 1, MaxWidth: 1, Seed: 1})
+	big, _ := Synthetic(SyntheticOptions{Layers: 6, MaxWidth: 4, Seed: 1})
+	if big.G.NumNodes() <= small.G.NumNodes() {
+		t.Errorf("bigger shape should give more nodes: %d vs %d", big.G.NumNodes(), small.G.NumNodes())
+	}
+}

@@ -1,0 +1,197 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"aarc/internal/resources"
+	"aarc/internal/workflow"
+)
+
+func resourcesConfig(cpu, mem float64) resources.Config {
+	return resources.Config{CPU: cpu, MemMB: mem}
+}
+
+func TestAllSpecsValidate(t *testing.T) {
+	for _, spec := range All() {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"chatbot":        "chatbot",
+		"ml-pipeline":    "ml-pipeline",
+		"mlpipeline":     "ml-pipeline",
+		"ml":             "ml-pipeline",
+		"video-analysis": "video-analysis",
+		"video":          "video-analysis",
+	} {
+		spec, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if spec.Name != want {
+			t.Errorf("ByName(%q) = %s", name, spec.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+func TestChatbotShape(t *testing.T) {
+	spec := Chatbot()
+	if spec.SLOMS != 120_000 {
+		t.Errorf("SLO = %v", spec.SLOMS)
+	}
+	groups := spec.FunctionGroups()
+	if len(groups) != 4 {
+		t.Errorf("groups = %v, want 4 (start, split, classify, end)", groups)
+	}
+	if n := len(spec.NodesInGroup("classify")); n != ChatbotScatterWidth {
+		t.Errorf("classify instances = %d, want %d", n, ChatbotScatterWidth)
+	}
+	if spec.G.NumNodes() != 3+ChatbotScatterWidth {
+		t.Errorf("nodes = %d", spec.G.NumNodes())
+	}
+	// Scatter pattern: split has ChatbotScatterWidth successors.
+	if got := len(spec.G.Succ("split")); got != ChatbotScatterWidth {
+		t.Errorf("split fan-out = %d", got)
+	}
+}
+
+func TestMLPipelineShape(t *testing.T) {
+	spec := MLPipeline()
+	if spec.G.NumNodes() != 8 {
+		t.Errorf("nodes = %d, want 8", spec.G.NumNodes())
+	}
+	// Broadcast pattern: start has two successors, combine two predecessors.
+	if len(spec.G.Succ("start")) != 2 || len(spec.G.Pred("combine")) != 2 {
+		t.Error("broadcast structure wrong")
+	}
+	if !spec.G.HasPath("start", "end") {
+		t.Error("start should reach end")
+	}
+}
+
+func TestVideoAnalysisShape(t *testing.T) {
+	spec := VideoAnalysis()
+	if spec.SLOMS != 600_000 {
+		t.Errorf("SLO = %v", spec.SLOMS)
+	}
+	groups := spec.FunctionGroups()
+	if len(groups) != 5 {
+		t.Errorf("groups = %v", groups)
+	}
+	// Chunk chains: extract_i -> classify_i.
+	if got := spec.G.Succ("extract_01"); len(got) != 1 || got[0] != "classify_01" {
+		t.Errorf("chunk chain wrong: %v", got)
+	}
+	// Input sensitivity on the heavy stages.
+	for _, node := range []string{"split", "extract_01", "classify_01"} {
+		if !spec.Profiles[node].InputSensitive {
+			t.Errorf("%s should be input sensitive", node)
+		}
+	}
+	if spec.Profiles["start"].InputSensitive {
+		t.Error("start should not be input sensitive")
+	}
+}
+
+// The affinity design points (DESIGN.md §5): cost-optimal core counts under
+// the paper pricing land at ~1 (chatbot classify), ~4 (ML paramtune) and
+// ~8 (video extract) at their footprint memories.
+func TestAffinityDesignPoints(t *testing.T) {
+	cases := []struct {
+		spec  func() *workflow.Spec
+		node  string
+		mem   float64
+		wantC float64
+	}{
+		{Chatbot, "classify_01", 512, 1},
+		{MLPipeline, "paramtune", 512, 4},
+		{VideoAnalysis, "extract_01", 5120, 8},
+	}
+	for _, c := range cases {
+		p := c.spec().Profiles[c.node]
+		got := p.OptimalCPU(c.mem, 0.512, 0.001)
+		if math.Abs(got-c.wantC) > 0.05 {
+			t.Errorf("%s c* = %.3f, want %.0f", c.node, got, c.wantC)
+		}
+	}
+}
+
+// Base configurations must meet the SLO comfortably (Algorithm 1 requires
+// an over-provisioned base).
+func TestBaseMeetsSLO(t *testing.T) {
+	for _, spec := range All() {
+		runner, err := workflow.NewRunner(spec, workflow.RunnerOptions{HostCores: 96})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runner.MeanEvaluate(spec.Base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OOM {
+			t.Errorf("%s base config OOMs", spec.Name)
+		}
+		if res.E2EMS > spec.SLOMS*0.8 {
+			t.Errorf("%s base e2e %.0f too close to SLO %.0f", spec.Name, res.E2EMS, spec.SLOMS)
+		}
+	}
+}
+
+// Runtime must be flat in memory above the footprint for the compute-bound
+// workflows (the Fig. 2a/2b observation motivating decoupling).
+func TestRuntimeFlatInMemory(t *testing.T) {
+	spec := Chatbot()
+	runner, err := workflow.NewRunner(spec, workflow.RunnerOptions{HostCores: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate each configuration twice and keep the warm (second) run:
+	// cold-start latency scales with memory and would mask the flatness.
+	a := spec.Base.Clone()
+	for g := range a {
+		a[g] = resourcesConfig(2, 1024)
+	}
+	runner.MeanEvaluate(a)
+	r1, _ := runner.MeanEvaluate(a)
+	for g := range a {
+		a[g] = resourcesConfig(2, 8192)
+	}
+	runner.MeanEvaluate(a)
+	r2, _ := runner.MeanEvaluate(a)
+	if math.Abs(r1.E2EMS-r2.E2EMS) > r1.E2EMS*0.01 {
+		t.Errorf("runtime should be ~flat in memory: %v vs %v", r1.E2EMS, r2.E2EMS)
+	}
+	// But cost is much higher with more memory.
+	if r2.Cost < r1.Cost*1.5 {
+		t.Errorf("8GB config should cost much more: %v vs %v", r2.Cost, r1.Cost)
+	}
+}
+
+// Video Analysis must be input-sensitive end to end.
+func TestVideoInputSensitivity(t *testing.T) {
+	spec := VideoAnalysis()
+	runner, err := workflow.NewRunner(spec, workflow.RunnerOptions{HostCores: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := runner.EvaluateScale(spec.Base, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := runner.EvaluateScale(spec.Base, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.E2EMS < light.E2EMS*2 {
+		t.Errorf("heavy input should be much slower: %v vs %v", heavy.E2EMS, light.E2EMS)
+	}
+}
