@@ -11,9 +11,67 @@ import (
 	"testing"
 
 	"aarc/internal/experiments"
+	"aarc/internal/perfmodel"
+	"aarc/internal/resources"
+	"aarc/internal/simfaas"
+	"aarc/internal/workflow"
+	"aarc/internal/workloads"
 )
 
 const benchSeed = 42
+
+// BenchmarkEvaluate measures the evaluation hot path itself: one workflow
+// execution per iteration on each paper workload, with allocations reported.
+// Every figure in the evaluation is hundreds to thousands of these calls, so
+// allocs/op here bounds the whole harness.
+func BenchmarkEvaluate(b *testing.B) {
+	for _, w := range experiments.Workloads() {
+		b.Run(w, func(b *testing.B) {
+			spec, err := workloads.ByName(w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runner, err := workflow.NewRunner(spec, workflow.RunnerOptions{
+				HostCores: experiments.HostCores, Noise: true, Seed: benchSeed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			a := runner.Base()
+			if _, err := runner.Evaluate(a); err != nil { // warm containers
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Evaluate(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlatformInvoke measures the simulated platform's per-invocation
+// cost on the steady (warm) path.
+func BenchmarkPlatformInvoke(b *testing.B) {
+	p := simfaas.New(simfaas.DefaultOptions())
+	prof := perfmodel.Profile{
+		Name: "bench", CPUWorkMS: 1000, ParallelFrac: 0.5,
+		FootprintMB: 512, MinMemMB: 128, PressureK: 1,
+	}
+	cfg := resources.Config{CPU: 2, MemMB: 1024}
+	if _, err := p.Invoke("bench", prof, cfg, 1, nil); err != nil { // warm it
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Invoke("bench", prof, cfg, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 func BenchmarkFig2Heatmaps(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -35,8 +35,9 @@ func main() {
 
 	seed := flag.Uint64("seed", 42, "deterministic seed for simulator and searchers")
 	csvDir := flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+	parallel := flag.Int("parallel", 0, "worker count for independent experiment cells (0 = all cores, 1 = sequential; output is identical either way)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: aarcbench [-seed N] [-csv DIR] <fig2|fig3|fig5|fig6|fig7|fig8|table2|ablation|motivation|scale|all>")
+		fmt.Fprintln(os.Stderr, "usage: aarcbench [-seed N] [-csv DIR] [-parallel N] <fig2|fig3|fig5|fig6|fig7|fig8|table2|ablation|motivation|scale|all>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,7 +46,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(flag.Arg(0), *seed, *csvDir); err != nil {
+	if err := runParallel(flag.Arg(0), *seed, *csvDir, experiments.NewPool(*parallel)); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -58,7 +59,16 @@ type renderable interface {
 }
 
 func run(name string, seed uint64, csvDir string) error {
+	return runParallel(name, seed, csvDir, nil)
+}
+
+// runParallel dispatches one experiment (or "all") with the given worker
+// pool; a nil pool runs sequentially. Cell-level parallelism lives inside
+// the experiments package, so the rendered output and CSVs are identical for
+// every worker count.
+func runParallel(name string, seed uint64, csvDir string, pool *experiments.Pool) error {
 	suite := experiments.NewSuite(seed)
+	suite.Pool = pool
 	return runWith(name, seed, csvDir, suite)
 }
 
@@ -86,7 +96,7 @@ func runWith(name string, seed uint64, csvDir string, suite *experiments.Suite) 
 
 	switch name {
 	case "fig2":
-		results, err := experiments.RunFig2All()
+		results, err := experiments.RunFig2AllPool(suite.Pool)
 		if err != nil {
 			return err
 		}
@@ -132,7 +142,7 @@ func runWith(name string, seed uint64, csvDir string, suite *experiments.Suite) 
 		}
 		return emit("fig8", r)
 	case "ablation":
-		r, err := experiments.RunAblation(seed)
+		r, err := experiments.RunAblationPool(seed, suite.Pool)
 		if err != nil {
 			return err
 		}

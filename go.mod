@@ -1,0 +1,3 @@
+module aarc
+
+go 1.24.0

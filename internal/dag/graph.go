@@ -157,44 +157,51 @@ func (g *Graph) Clone() *Graph {
 // TopoSort returns a topological order of the nodes (Kahn's algorithm with
 // insertion-order tie-breaking, so the result is deterministic). It returns
 // ErrCycle if the graph is cyclic and ErrEmpty if it has no nodes.
+//
+// The traversal runs entirely on insertion indices — one indegree slice and
+// one sorted ready slice of ints — so no per-node map operations or string
+// hashing happen on this path (hot for every Runner construction).
 func (g *Graph) TopoSort() ([]string, error) {
-	if len(g.order) == 0 {
+	n := len(g.order)
+	if n == 0 {
 		return nil, ErrEmpty
 	}
-	indeg := make(map[string]int, len(g.order))
-	for _, id := range g.order {
-		indeg[id] = len(g.pred[id])
+	indeg := make([]int, n)
+	for i, id := range g.order {
+		indeg[i] = len(g.pred[id])
 	}
 	// ready is kept sorted by insertion index for determinism.
-	var ready []string
-	for _, id := range g.order {
-		if indeg[id] == 0 {
-			ready = append(ready, id)
+	ready := make([]int, 0, n)
+	for i := range g.order {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
 		}
 	}
-	out := make([]string, 0, len(g.order))
+	out := make([]string, 0, n)
 	for len(ready) > 0 {
-		id := ready[0]
+		i := ready[0]
 		ready = ready[1:]
+		id := g.order[i]
 		out = append(out, id)
 		for _, s := range g.succ[id] {
-			indeg[s]--
-			if indeg[s] == 0 {
-				ready = insertByIndex(ready, s, g.index)
+			si := g.index[s]
+			indeg[si]--
+			if indeg[si] == 0 {
+				ready = insertByIndex(ready, si)
 			}
 		}
 	}
-	if len(out) != len(g.order) {
+	if len(out) != n {
 		return nil, ErrCycle
 	}
 	return out, nil
 }
 
-func insertByIndex(ready []string, id string, index map[string]int) []string {
-	pos := sort.Search(len(ready), func(i int) bool { return index[ready[i]] > index[id] })
-	ready = append(ready, "")
+func insertByIndex(ready []int, i int) []int {
+	pos := sort.Search(len(ready), func(j int) bool { return ready[j] > i })
+	ready = append(ready, 0)
 	copy(ready[pos+1:], ready[pos:])
-	ready[pos] = id
+	ready[pos] = i
 	return ready
 }
 

@@ -48,39 +48,57 @@ type AblationResult struct {
 	Rows []AblationRow
 }
 
-// RunAblation sweeps all variants over all workloads.
-func RunAblation(seed uint64) (AblationResult, error) {
-	var out AblationResult
+// RunAblation sweeps all variants over all workloads sequentially.
+func RunAblation(seed uint64) (AblationResult, error) { return RunAblationPool(seed, nil) }
+
+// RunAblationPool runs the (workload, variant) cells on the pool's workers.
+// Cells are independent and rows land at fixed indices, so the table is
+// identical to the sequential sweep.
+func RunAblationPool(seed uint64, pool *Pool) (AblationResult, error) {
+	type cell struct {
+		w string
+		v AblationVariant
+	}
+	var cells []cell
 	for _, w := range Workloads() {
 		for _, v := range AblationVariants() {
-			spec, err := workloads.ByName(w)
-			if err != nil {
-				return AblationResult{}, err
-			}
-			runner, err := NewRunner(spec, seed)
-			if err != nil {
-				return AblationResult{}, err
-			}
-			outcome, err := core.New(v.Opts).Search(runner, spec.SLOMS)
-			if err != nil {
-				return AblationResult{}, fmt.Errorf("ablation %s/%s: %w", w, v.Name, err)
-			}
-			res, err := runner.Evaluate(outcome.Best)
-			if err != nil {
-				return AblationResult{}, err
-			}
-			out.Rows = append(out.Rows, AblationRow{
-				Workload:       w,
-				Variant:        v.Name,
-				Samples:        outcome.Trace.Len(),
-				TotalRuntimeMS: outcome.Trace.TotalRuntimeMS(),
-				FinalCost:      res.Cost,
-				FinalE2EMS:     res.E2EMS,
-				SLOMS:          spec.SLOMS,
-			})
+			cells = append(cells, cell{w, v})
 		}
 	}
-	return out, nil
+	rows := make([]AblationRow, len(cells))
+	err := pool.Do(len(cells), func(i int) error {
+		w, v := cells[i].w, cells[i].v
+		spec, err := workloads.ByName(w)
+		if err != nil {
+			return err
+		}
+		runner, err := NewRunner(spec, seed)
+		if err != nil {
+			return err
+		}
+		outcome, err := core.New(v.Opts).Search(runner, spec.SLOMS)
+		if err != nil {
+			return fmt.Errorf("ablation %s/%s: %w", w, v.Name, err)
+		}
+		res, err := runner.Evaluate(outcome.Best)
+		if err != nil {
+			return err
+		}
+		rows[i] = AblationRow{
+			Workload:       w,
+			Variant:        v.Name,
+			Samples:        outcome.Trace.Len(),
+			TotalRuntimeMS: outcome.Trace.TotalRuntimeMS(),
+			FinalCost:      res.Cost,
+			FinalE2EMS:     res.E2EMS,
+			SLOMS:          spec.SLOMS,
+		}
+		return nil
+	})
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{Rows: rows}, nil
 }
 
 // Render prints the ablation table.

@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"aarc/internal/baselines/bo"
 	"aarc/internal/baselines/maff"
@@ -61,37 +62,63 @@ type SearchRun struct {
 
 // Suite runs the three methods over the three workloads once and caches the
 // outcomes; Figures 5–7 and Table II all derive from the same runs, exactly
-// as in the paper.
+// as in the paper. Setting Pool lets RunAll execute the nine independent
+// search cells concurrently; each cell's seed depends only on the cell, so
+// the cached outcomes — and every figure derived from them — are identical
+// to a sequential run. The cache itself is concurrency-safe.
 type Suite struct {
 	Seed uint64
+	// Pool, when non-nil, parallelizes RunAll across (workload, method)
+	// cells. A nil Pool (or one worker) runs sequentially.
+	Pool *Pool
+
+	mu   sync.Mutex
 	runs map[string]map[string]SearchRun // workload -> method -> run
 }
 
-// NewSuite returns an empty suite with the given seed.
+// NewSuite returns an empty sequential suite with the given seed.
 func NewSuite(seed uint64) *Suite { return &Suite{Seed: seed} }
 
 // Workloads returns the paper's workload names in presentation order.
 func Workloads() []string { return []string{"chatbot", "ml-pipeline", "video-analysis"} }
 
-// Run executes (or returns the cached) search for one workload and method.
-func (s *Suite) Run(workloadName, method string) (SearchRun, error) {
+// cached returns the cached run for a cell, if present.
+func (s *Suite) cached(workloadName, method string) (SearchRun, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if byMethod, ok := s.runs[workloadName]; ok {
+		if run, ok := byMethod[method]; ok {
+			return run, true
+		}
+	}
+	return SearchRun{}, false
+}
+
+// store caches a completed cell.
+func (s *Suite) store(run SearchRun) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.runs == nil {
 		s.runs = make(map[string]map[string]SearchRun)
 	}
-	if byMethod, ok := s.runs[workloadName]; ok {
-		if run, ok := byMethod[method]; ok {
-			return run, nil
-		}
+	if s.runs[run.Workload] == nil {
+		s.runs[run.Workload] = make(map[string]SearchRun)
 	}
+	s.runs[run.Workload][run.Method] = run
+}
+
+// runCell executes one (workload, method) search with its own runner and
+// searcher, both seeded deterministically from the cell alone.
+func runCell(workloadName, method string, seed uint64) (SearchRun, error) {
 	spec, err := workloads.ByName(workloadName)
 	if err != nil {
 		return SearchRun{}, err
 	}
-	runner, err := NewRunner(spec, s.Seed)
+	runner, err := NewRunner(spec, seed)
 	if err != nil {
 		return SearchRun{}, err
 	}
-	searcher, err := NewSearcher(method, s.Seed)
+	searcher, err := NewSearcher(method, seed)
 	if err != nil {
 		return SearchRun{}, err
 	}
@@ -100,24 +127,43 @@ func (s *Suite) Run(workloadName, method string) (SearchRun, error) {
 		return SearchRun{}, fmt.Errorf("experiments: %s/%s: %w", workloadName, method, err)
 	}
 	outcome.Trace.Workload = workloadName
-	run := SearchRun{Workload: workloadName, Method: method, Outcome: outcome}
-	if s.runs[workloadName] == nil {
-		s.runs[workloadName] = make(map[string]SearchRun)
+	return SearchRun{Workload: workloadName, Method: method, Outcome: outcome}, nil
+}
+
+// Run executes (or returns the cached) search for one workload and method.
+func (s *Suite) Run(workloadName, method string) (SearchRun, error) {
+	if run, ok := s.cached(workloadName, method); ok {
+		return run, nil
 	}
-	s.runs[workloadName][method] = run
+	run, err := runCell(workloadName, method, s.Seed)
+	if err != nil {
+		return SearchRun{}, err
+	}
+	s.store(run)
 	return run, nil
 }
 
-// RunAll executes every (workload, method) pair.
+// RunAll executes every (workload, method) pair, concurrently when the suite
+// has a Pool. The cells are independent — each owns its runner, searcher and
+// simulated platform — so the parallel schedule cannot change any outcome.
 func (s *Suite) RunAll() error {
+	type cell struct{ w, m string }
+	var todo []cell
 	for _, w := range Workloads() {
 		for _, m := range MethodNames {
-			if _, err := s.Run(w, m); err != nil {
-				return err
+			if _, ok := s.cached(w, m); !ok {
+				todo = append(todo, cell{w, m})
 			}
 		}
 	}
-	return nil
+	return s.Pool.Do(len(todo), func(i int) error {
+		run, err := runCell(todo[i].w, todo[i].m, s.Seed)
+		if err != nil {
+			return err
+		}
+		s.store(run)
+		return nil
+	})
 }
 
 // --- small text-table renderer shared by the experiment reports ---

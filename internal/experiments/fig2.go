@@ -93,15 +93,25 @@ func RunFig2(workloadName string) (Fig2Result, error) {
 	return out, nil
 }
 
-// RunFig2All sweeps all three workloads.
-func RunFig2All() ([]Fig2Result, error) {
-	var out []Fig2Result
-	for _, w := range Workloads() {
-		r, err := RunFig2(w)
+// RunFig2All sweeps all three workloads sequentially.
+func RunFig2All() ([]Fig2Result, error) { return RunFig2AllPool(nil) }
+
+// RunFig2AllPool sweeps the three workloads on the pool's workers. Each
+// sweep owns its runner and platform, and results land at their workload's
+// index, so the output is identical to the sequential sweep.
+func RunFig2AllPool(pool *Pool) ([]Fig2Result, error) {
+	ws := Workloads()
+	out := make([]Fig2Result, len(ws))
+	err := pool.Do(len(ws), func(i int) error {
+		r, err := RunFig2(ws[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

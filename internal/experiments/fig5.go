@@ -21,8 +21,12 @@ type Fig5Result struct {
 	Cells []Fig5Cell
 }
 
-// RunFig5 derives the totals from the suite's cached searches.
+// RunFig5 derives the totals from the suite's cached searches, first filling
+// the cache (in parallel when the suite has a pool).
 func RunFig5(s *Suite) (Fig5Result, error) {
+	if err := s.RunAll(); err != nil {
+		return Fig5Result{}, err
+	}
 	var out Fig5Result
 	for _, w := range Workloads() {
 		for _, m := range MethodNames {

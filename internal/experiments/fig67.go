@@ -22,6 +22,9 @@ func RunFig6(s *Suite) (SeriesResult, error) { return runSeries(s, "runtime") }
 func RunFig7(s *Suite) (SeriesResult, error) { return runSeries(s, "cost") }
 
 func runSeries(s *Suite, dim string) (SeriesResult, error) {
+	if err := s.RunAll(); err != nil {
+		return SeriesResult{}, err
+	}
 	out := SeriesResult{Dim: dim, Series: make(map[string]map[string][]float64)}
 	for _, w := range Workloads() {
 		out.Series[w] = make(map[string][]float64)

@@ -30,50 +30,66 @@ type Table2Result struct {
 }
 
 // RunTable2 validates each method's chosen configuration with
-// Table2ValidationRuns noisy executions on a fresh runner.
+// Table2ValidationRuns noisy executions on a fresh runner. The searches come
+// from the suite cache (filled in parallel when the suite has a pool), and
+// the nine validation cells — each with its own runner, seeded only by the
+// suite seed — run on the pool too, landing at fixed row indices.
 func RunTable2(s *Suite) (Table2Result, error) {
-	var out Table2Result
+	if err := s.RunAll(); err != nil {
+		return Table2Result{}, err
+	}
+	type cell struct{ w, m string }
+	var cells []cell
 	for _, w := range Workloads() {
-		spec, err := workloads.ByName(w)
-		if err != nil {
-			return Table2Result{}, err
-		}
 		for _, m := range MethodNames {
-			run, err := s.Run(w, m)
-			if err != nil {
-				return Table2Result{}, err
-			}
-			// Fresh runner: validation is independent of the search's RNG
-			// position, but still deterministic per (workload, method).
-			runner, err := NewRunner(spec, s.Seed+0x7ab1e2)
-			if err != nil {
-				return Table2Result{}, err
-			}
-			var e2es, costs []float64
-			violations := 0
-			for i := 0; i < Table2ValidationRuns; i++ {
-				res, err := runner.Evaluate(run.Outcome.Best)
-				if err != nil {
-					return Table2Result{}, err
-				}
-				e2es = append(e2es, res.E2EMS)
-				costs = append(costs, res.Cost)
-				if res.E2EMS > spec.SLOMS {
-					violations++
-				}
-			}
-			out.Rows = append(out.Rows, Table2Row{
-				Workload:      w,
-				Method:        m,
-				MeanRuntimeMS: stats.Mean(e2es),
-				StdRuntimeMS:  stats.SampleStdDev(e2es),
-				MeanCost:      stats.Mean(costs),
-				SLOMS:         spec.SLOMS,
-				Violations:    violations,
-			})
+			cells = append(cells, cell{w, m})
 		}
 	}
-	return out, nil
+	rows := make([]Table2Row, len(cells))
+	err := s.Pool.Do(len(cells), func(i int) error {
+		w, m := cells[i].w, cells[i].m
+		spec, err := workloads.ByName(w)
+		if err != nil {
+			return err
+		}
+		run, err := s.Run(w, m)
+		if err != nil {
+			return err
+		}
+		// Fresh runner: validation is independent of the search's RNG
+		// position, but still deterministic per (workload, method).
+		runner, err := NewRunner(spec, s.Seed+0x7ab1e2)
+		if err != nil {
+			return err
+		}
+		var e2es, costs []float64
+		violations := 0
+		for j := 0; j < Table2ValidationRuns; j++ {
+			res, err := runner.Evaluate(run.Outcome.Best)
+			if err != nil {
+				return err
+			}
+			e2es = append(e2es, res.E2EMS)
+			costs = append(costs, res.Cost)
+			if res.E2EMS > spec.SLOMS {
+				violations++
+			}
+		}
+		rows[i] = Table2Row{
+			Workload:      w,
+			Method:        m,
+			MeanRuntimeMS: stats.Mean(e2es),
+			StdRuntimeMS:  stats.SampleStdDev(e2es),
+			MeanCost:      stats.Mean(costs),
+			SLOMS:         spec.SLOMS,
+			Violations:    violations,
+		}
+		return nil
+	})
+	if err != nil {
+		return Table2Result{}, err
+	}
+	return Table2Result{Rows: rows}, nil
 }
 
 // CostReductionPct returns AARC's cost reduction against a baseline on one

@@ -10,6 +10,7 @@
 package simfaas
 
 import (
+	"container/list"
 	"fmt"
 	"math/rand/v2"
 	"sync"
@@ -72,14 +73,20 @@ type Invocation struct {
 	OOM         bool
 }
 
+// warmContainer is one keep-alive pool entry; entries live on the LRU list
+// with the most recently used container at the front.
+type warmContainer struct {
+	key string
+	cfg resources.Config
+}
+
 // Platform is a simulated FaaS substrate. It is safe for concurrent use.
 type Platform struct {
 	opts Options
 
 	mu      sync.Mutex
-	warm    map[string]resources.Config // container key -> warm container config
-	lruSeq  map[string]uint64           // container key -> last-use stamp
-	seq     uint64
+	warm    map[string]*list.Element // container key -> LRU list element
+	lru     *list.List               // of *warmContainer, front = most recent
 	metrics Metrics
 	perFunc map[string]*FunctionMetrics
 }
@@ -88,38 +95,49 @@ type Platform struct {
 func New(opts Options) *Platform {
 	return &Platform{
 		opts:    opts,
-		warm:    make(map[string]resources.Config),
-		lruSeq:  make(map[string]uint64),
+		warm:    make(map[string]*list.Element),
+		lru:     list.New(),
 		perFunc: make(map[string]*FunctionMetrics),
 	}
 }
 
-// touchLocked stamps key as most recently used. Callers hold p.mu.
-func (p *Platform) touchLocked(key string) {
-	p.seq++
-	p.lruSeq[key] = p.seq
+// warmConfigLocked returns the resident warm config for key. Callers hold
+// p.mu.
+func (p *Platform) warmConfigLocked(key string) (resources.Config, bool) {
+	el, ok := p.warm[key]
+	if !ok {
+		return resources.Config{}, false
+	}
+	return el.Value.(*warmContainer).cfg, true
 }
 
-// evictIfFullLocked drops the least recently used container when the warm
-// pool is at capacity and key is not already resident. Callers hold p.mu.
-func (p *Platform) evictIfFullLocked(key string) {
-	if p.opts.MaxWarmContainers <= 0 {
+// storeWarmLocked records key as warm at cfg and stamps it most recently
+// used, evicting the least recently used containers (list back) when the
+// pool is over capacity. O(1) per operation versus the former full-pool
+// scan. Callers hold p.mu.
+func (p *Platform) storeWarmLocked(key string, cfg resources.Config) {
+	if el, ok := p.warm[key]; ok {
+		el.Value.(*warmContainer).cfg = cfg
+		p.lru.MoveToFront(el)
 		return
 	}
-	if _, resident := p.warm[key]; resident {
-		return
-	}
-	for len(p.warm) >= p.opts.MaxWarmContainers {
-		victim := ""
-		var oldest uint64
-		for k := range p.warm {
-			if victim == "" || p.lruSeq[k] < oldest {
-				victim, oldest = k, p.lruSeq[k]
-			}
+	if p.opts.MaxWarmContainers > 0 {
+		for p.lru.Len() >= p.opts.MaxWarmContainers {
+			victim := p.lru.Back()
+			p.lru.Remove(victim)
+			delete(p.warm, victim.Value.(*warmContainer).key)
+			p.metrics.Evictions++
 		}
-		delete(p.warm, victim)
-		delete(p.lruSeq, victim)
-		p.metrics.Evictions++
+	}
+	p.warm[key] = p.lru.PushFront(&warmContainer{key: key, cfg: cfg})
+}
+
+// dropWarmLocked removes a (dead) container from the pool without counting
+// an eviction. Callers hold p.mu.
+func (p *Platform) dropWarmLocked(key string) {
+	if el, ok := p.warm[key]; ok {
+		p.lru.Remove(el)
+		delete(p.warm, key)
 	}
 }
 
@@ -159,7 +177,7 @@ func (p *Platform) Invoke(key string, prof perfmodel.Profile, cfg resources.Conf
 	p.mu.Lock()
 	cold := true
 	if p.opts.KeepAlive {
-		if w, ok := p.warm[key]; ok && w == cfg {
+		if w, ok := p.warmConfigLocked(key); ok && w == cfg {
 			cold = false
 		}
 	}
@@ -185,8 +203,7 @@ func (p *Platform) Invoke(key string, prof perfmodel.Profile, cfg resources.Conf
 			p.mu.Lock()
 			p.metrics.OOMKills++
 			p.funcMetricsLocked(key).OOMKills++
-			delete(p.warm, key) // the container died
-			delete(p.lruSeq, key)
+			p.dropWarmLocked(key) // the container died
 			p.mu.Unlock()
 			partial := prof.OOMPartialMS(cfg, scale)
 			if partial < p.opts.OOMDetectMS {
@@ -204,9 +221,7 @@ func (p *Platform) Invoke(key string, prof perfmodel.Profile, cfg resources.Conf
 
 	if p.opts.KeepAlive {
 		p.mu.Lock()
-		p.evictIfFullLocked(key)
-		p.warm[key] = cfg
-		p.touchLocked(key)
+		p.storeWarmLocked(key, cfg)
 		p.mu.Unlock()
 	}
 	return Invocation{
@@ -244,6 +259,6 @@ func (p *Platform) FunctionMetricsFor(key string) FunctionMetrics {
 func (p *Platform) Flush() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.warm = make(map[string]resources.Config)
-	p.lruSeq = make(map[string]uint64)
+	p.warm = make(map[string]*list.Element)
+	p.lru = list.New()
 }

@@ -1,0 +1,113 @@
+package workflow
+
+import (
+	"sync"
+	"testing"
+
+	"aarc/internal/simfaas"
+)
+
+// TestConcurrentRunnersSharedPlatform exercises the documented concurrency
+// contract under the race detector: one Runner per goroutine (each with its
+// own scratch arena and RNG), all invoking one shared simfaas.Platform.
+func TestConcurrentRunnersSharedPlatform(t *testing.T) {
+	spec := fanSpec()
+	platform := simfaas.New(simfaas.DefaultOptions())
+
+	const goroutines = 8
+	const evals = 50
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	results := make([]float64, goroutines)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			r, err := NewRunner(spec, RunnerOptions{
+				HostCores: 96, Noise: true, Seed: uint64(g), Platform: platform,
+			})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			for i := 0; i < evals; i++ {
+				res, err := r.Evaluate(spec.Base)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				results[g] = res.E2EMS
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	for g, e2e := range results {
+		if e2e <= 0 {
+			t.Errorf("goroutine %d: degenerate E2E %v", g, e2e)
+		}
+	}
+	m := platform.Metrics()
+	if m.Invocations != goroutines*evals*spec.G.NumNodes() {
+		t.Errorf("platform invocations = %d, want %d", m.Invocations, goroutines*evals*spec.G.NumNodes())
+	}
+}
+
+// TestMeanEvaluateDoesNotMutateRunner pins the satellite fix: MeanEvaluate
+// threads the noise override through the call instead of toggling runner
+// state, so the RNG stream position is all that evolves between noisy
+// evaluations.
+func TestMeanEvaluateDoesNotMutateRunner(t *testing.T) {
+	s := chainSpec()
+	for id, p := range s.Profiles {
+		p.NoiseStd = 0.05
+		s.Profiles[id] = p
+	}
+	mk := func() *Runner {
+		r, err := NewRunner(s, RunnerOptions{HostCores: 96, Noise: true, Seed: 21,
+			Platform: simfaas.New(simfaas.Options{KeepAlive: true})})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	// Interleaving MeanEvaluate calls must not shift the noisy RNG stream.
+	r1 := mk()
+	n1a, _ := r1.Evaluate(s.Base)
+	n1b, _ := r1.Evaluate(s.Base)
+
+	r2 := mk()
+	m1, _ := r2.MeanEvaluate(s.Base)
+	n2a, _ := r2.Evaluate(s.Base)
+	m2, _ := r2.MeanEvaluate(s.Base)
+	n2b, _ := r2.Evaluate(s.Base)
+
+	if m1.E2EMS != m2.E2EMS {
+		t.Error("MeanEvaluate should be deterministic")
+	}
+	if n1a.E2EMS != n2a.E2EMS || n1b.E2EMS != n2b.E2EMS {
+		t.Error("MeanEvaluate must not perturb the noisy evaluation stream")
+	}
+}
+
+func BenchmarkRunnerEvaluate(b *testing.B) {
+	s := fanSpec()
+	r, err := NewRunner(s, RunnerOptions{HostCores: 96, Noise: true, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.Evaluate(s.Base); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Evaluate(s.Base); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

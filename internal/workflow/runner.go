@@ -2,9 +2,7 @@ package workflow
 
 import (
 	"fmt"
-	"math"
 	"math/rand/v2"
-	"sort"
 
 	"aarc/internal/dag"
 	"aarc/internal/pricing"
@@ -32,16 +30,20 @@ type RunnerOptions struct {
 }
 
 // Runner executes a Spec on the simulated platform and implements
-// search.Evaluator. It is not safe for concurrent use (searchers are
-// sequential by nature); create one runner per goroutine if needed.
+// search.Evaluator. It compiles the spec into a dense execution plan at
+// construction and reuses a scratch arena across evaluations, so it is NOT
+// safe for concurrent use: create one runner per goroutine (runners may
+// share a Platform, which is concurrency-safe).
 type Runner struct {
 	spec     *Spec
+	plan     *plan
 	platform *simfaas.Platform
 	price    pricing.Model
 	cores    float64
 	noise    bool
 	scale    float64
 	rng      *rand.Rand
+	scratch  scratch
 }
 
 // NewRunner validates the spec and builds a runner.
@@ -69,6 +71,11 @@ func NewRunner(spec *Spec, opts RunnerOptions) (*Runner, error) {
 		r.price = pricing.Paper()
 	}
 	r.rng = rand.New(rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15))
+	p, err := compilePlan(spec)
+	if err != nil {
+		return nil, err
+	}
+	r.plan = p
 	return r, nil
 }
 
@@ -104,191 +111,148 @@ func (r *Runner) Evaluate(a resources.Assignment) (search.Result, error) {
 	return r.EvaluateScale(a, r.scale)
 }
 
-// nodeRun tracks one node's execution through the fluid simulation.
-type nodeRun struct {
-	id        string
-	remaining float64 // remaining duration at rate 1
-	cpu       float64
-	start     float64
-}
-
 // EvaluateScale executes the workflow once under assignment a at the given
-// input scale. End-to-end latency is the makespan of an event-driven fluid
-// simulation: whenever the total vCPU demand of concurrently running
-// containers exceeds the host capacity, all running invocations progress at
-// rate capacity/demand (processor sharing), stretching their billed
-// durations — which is what cgroup CPU shares do on the paper's testbed.
-//
-// An OOM kill aborts the workflow: in-flight branches finish, but no new
-// node starts afterwards, and downstream nodes are reported Skipped.
+// input scale, with measurement noise following the runner's Noise option.
 func (r *Runner) EvaluateScale(a resources.Assignment, scale float64) (search.Result, error) {
-	spec := r.spec
-	res := search.Result{Nodes: make(map[string]search.NodeResult, spec.G.NumNodes())}
-
-	cfgOf := func(node string) (resources.Config, error) {
-		g := spec.GroupOf(node)
-		cfg, ok := a[g]
-		if !ok {
-			return resources.Config{}, fmt.Errorf("workflow %s: assignment missing group %q (node %q)", spec.Name, g, node)
-		}
-		if !cfg.Valid() {
-			return resources.Config{}, fmt.Errorf("workflow %s: invalid config %v for group %q", spec.Name, cfg, g)
-		}
-		return cfg, nil
-	}
-
-	topo, err := spec.G.TopoSort()
-	if err != nil {
-		return res, err
-	}
-	indeg := make(map[string]int, len(topo))
-	for _, id := range topo {
-		indeg[id] = len(spec.G.Pred(id))
-	}
-
 	var rng *rand.Rand
 	if r.noise {
 		rng = r.rng
 	}
+	return r.evaluate(a, scale, rng)
+}
 
-	// ready holds nodes whose predecessors have all finished, in
-	// deterministic (topo-index) order.
-	topoIdx := make(map[string]int, len(topo))
-	for i, id := range topo {
-		topoIdx[id] = i
+// MeanEvaluate runs Evaluate with noise forced off (useful for heatmaps and
+// deterministic assertions) regardless of the runner's Noise option. Unlike
+// an option flip, the override is threaded through the call, so it never
+// mutates runner state.
+func (r *Runner) MeanEvaluate(a resources.Assignment) (search.Result, error) {
+	return r.evaluate(a, r.scale, nil)
+}
+
+// evaluate executes the workflow once on the compiled plan. End-to-end
+// latency is the makespan of an event-driven fluid simulation: whenever the
+// total vCPU demand of concurrently running containers exceeds the host
+// capacity, all running invocations progress at rate capacity/demand
+// (processor sharing), stretching their billed durations — which is what
+// cgroup CPU shares do on the paper's testbed.
+//
+// Because every running invocation progresses at the same (time-varying)
+// rate, the simulation advances a virtual-work clock vw that accumulates
+// processed work per container: an invocation started at vw with runtime T
+// completes exactly when the clock reaches vw+T. That deadline is fixed at
+// start, so the next event is always the min-heap top — no per-event rescan
+// of the running set, and no rewriting of keys when the rate changes.
+//
+// An OOM kill aborts the workflow: in-flight branches finish, but no new
+// node starts afterwards, and downstream nodes are reported Skipped.
+func (r *Runner) evaluate(a resources.Assignment, scale float64, rng *rand.Rand) (search.Result, error) {
+	p := r.plan
+	s := &r.scratch
+	s.reset(p)
+	var res search.Result
+
+	// Resolve the assignment once per group instead of once per node.
+	for gi, g := range p.groupNames {
+		cfg, ok := a[g]
+		if !ok {
+			return res, fmt.Errorf("workflow %s: assignment missing group %q (node %q)", r.spec.Name, g, p.groupNode[gi])
+		}
+		if !cfg.Valid() {
+			return res, fmt.Errorf("workflow %s: invalid config %v for group %q", r.spec.Name, cfg, g)
+		}
+		s.cfgs = append(s.cfgs, cfg)
 	}
-	var ready []string
-	for _, id := range topo {
-		if indeg[id] == 0 {
-			ready = append(ready, id)
+
+	for i, d := range p.indeg0 {
+		if d == 0 {
+			s.ready = append(s.ready, int32(i))
 		}
 	}
 
-	var running []*nodeRun
-	now := 0.0
+	now := 0.0    // simulated wall clock (ms)
+	vw := 0.0     // virtual-work clock (ms of per-container progress)
+	demand := 0.0 // total vCPU demand of the running set
 	failed := false
 
-	startNode := func(id string) error {
-		cfg, err := cfgOf(id)
-		if err != nil {
-			return err
-		}
-		inv, err := r.platform.Invoke(id, spec.Profiles[id], cfg, scale, rng)
-		if err != nil {
-			return err
-		}
-		nr := search.NodeResult{
-			Group:       spec.GroupOf(id),
-			Config:      cfg,
-			ColdStartMS: inv.ColdStartMS,
-			OOM:         inv.OOM,
-			StartMS:     now,
-		}
-		res.Nodes[id] = nr
-		running = append(running, &nodeRun{id: id, remaining: inv.RuntimeMS, cpu: cfg.CPU})
-		running[len(running)-1].start = now
-		return nil
-	}
-
-	finishNode := func(run *nodeRun, finish float64) {
-		nr := res.Nodes[run.id]
-		nr.FinishMS = finish
-		nr.RuntimeMS = finish - run.start
-		nr.Cost = r.price.Invocation(nr.RuntimeMS, nr.Config)
-		res.Nodes[run.id] = nr
-		res.Cost += nr.Cost
-		if finish > res.E2EMS {
-			res.E2EMS = finish
-		}
-		if nr.OOM {
-			// The kill becomes visible to the orchestrator only now: the
-			// workflow fails, in-flight siblings drain, nothing new starts.
-			res.OOM = true
-			failed = true
-			if res.Fail == "" {
-				res.Fail = run.id
-			}
-		}
-		if !nr.OOM {
-			for _, s := range spec.G.Succ(run.id) {
-				indeg[s]--
-				if indeg[s] == 0 {
-					pos := sort.Search(len(ready), func(i int) bool { return topoIdx[ready[i]] > topoIdx[s] })
-					ready = append(ready, "")
-					copy(ready[pos+1:], ready[pos:])
-					ready[pos] = s
-				}
-			}
-		}
-	}
-
-	for len(ready) > 0 || len(running) > 0 {
-		// Launch everything ready (unless the workflow already failed).
+	for {
 		if !failed {
-			for len(ready) > 0 {
-				id := ready[0]
-				ready = ready[1:]
-				if err := startNode(id); err != nil {
+			for _, ni := range s.ready {
+				cfg := s.cfgs[p.groupIdx[ni]]
+				inv, err := r.platform.Invoke(p.ids[ni], p.profiles[ni], cfg, scale, rng)
+				if err != nil {
 					return res, err
 				}
+				nr := &s.nodeRes[ni]
+				nr.Group = p.groups[ni]
+				nr.Config = cfg
+				nr.ColdStartMS = inv.ColdStartMS
+				nr.OOM = inv.OOM
+				nr.StartMS = now
+				s.state[ni] = stRunning
+				s.heap.push(runItem{deadline: vw + inv.RuntimeMS, node: ni})
+				demand += cfg.CPU
 			}
 		} else {
-			for _, id := range ready {
-				nr := res.Nodes[id]
-				nr.Skipped = true
-				nr.Group = spec.GroupOf(id)
-				res.Nodes[id] = nr
+			for _, ni := range s.ready {
+				s.state[ni] = stSkipped
 			}
-			ready = nil
 		}
-		if len(running) == 0 {
+		s.ready = s.ready[:0]
+		if len(s.heap) == 0 {
 			break
 		}
 
-		// Processor-sharing rate for the current running set.
-		demand := 0.0
-		for _, run := range running {
-			demand += run.cpu
-		}
+		// Processor-sharing rate for the current running set, applied until
+		// the next completion.
 		rate := 1.0
 		if r.cores > 0 && demand > r.cores {
 			rate = r.cores / demand
 		}
+		next := s.heap[0].deadline
+		now += (next - vw) / rate
+		vw = next
 
-		// Advance to the earliest completion.
-		dt := math.Inf(1)
-		for _, run := range running {
-			if d := run.remaining / rate; d < dt {
-				dt = d
+		// Finish everything due at this event (near-simultaneous completions
+		// drain as one batch, in topo order via the heap tie-break).
+		for len(s.heap) > 0 && s.heap[0].deadline <= vw+1e-9 {
+			ni := s.heap.pop().node
+			nr := &s.nodeRes[ni]
+			nr.FinishMS = now
+			nr.RuntimeMS = now - nr.StartMS
+			nr.Cost = r.price.Invocation(nr.RuntimeMS, nr.Config)
+			res.Cost += nr.Cost
+			if now > res.E2EMS {
+				res.E2EMS = now
+			}
+			s.state[ni] = stFinished
+			demand -= nr.Config.CPU
+			if nr.OOM {
+				// The kill becomes visible to the orchestrator only now: the
+				// workflow fails, in-flight siblings drain, nothing new starts.
+				res.OOM = true
+				failed = true
+				if res.Fail == "" {
+					res.Fail = p.ids[ni]
+				}
+				continue
+			}
+			for _, si := range p.succs[ni] {
+				s.indeg[si]--
+				if s.indeg[si] == 0 {
+					s.ready = pushReady(s.ready, si)
+				}
 			}
 		}
-		now += dt
-		var still []*nodeRun
-		for _, run := range running {
-			run.remaining -= dt * rate
-			if run.remaining <= 1e-9 {
-				finishNode(run, now)
-			} else {
-				still = append(still, run)
-			}
-		}
-		running = still
 	}
 
-	// Mark never-started downstream nodes as skipped.
-	for _, id := range topo {
-		if _, ok := res.Nodes[id]; !ok {
-			res.Nodes[id] = search.NodeResult{Group: spec.GroupOf(id), Skipped: true}
+	// Hand back string-keyed results; never-started nodes report as skipped.
+	res.Nodes = make(map[string]search.NodeResult, len(p.ids))
+	for i := range p.ids {
+		if s.state[i] == stFinished {
+			res.Nodes[p.ids[i]] = s.nodeRes[i]
+		} else {
+			res.Nodes[p.ids[i]] = search.NodeResult{Group: p.groups[i], Skipped: true}
 		}
 	}
 	return res, nil
-}
-
-// MeanEvaluate runs Evaluate with noise forced off (useful for heatmaps and
-// deterministic assertions) regardless of the runner's Noise option.
-func (r *Runner) MeanEvaluate(a resources.Assignment) (search.Result, error) {
-	saved := r.noise
-	r.noise = false
-	defer func() { r.noise = saved }()
-	return r.Evaluate(a)
 }
