@@ -1,31 +1,28 @@
 // Command aarc runs a resource-configuration search on one of the built-in
 // serverless workflows (or prints its DAG) using AARC or one of the
 // baselines, and reports the chosen per-function configuration, search
-// statistics and a validation run.
+// statistics and a validation run. It is a thin shell over the public aarc
+// facade.
 //
 // Usage:
 //
 //	aarc -workload chatbot -method aarc
 //	aarc -workload video-analysis -method bo -seed 7
+//	aarc -list-methods                        # print the method registry
+//	aarc -workload chatbot -timeout 30s       # bound the search wall time
 //	aarc -workload ml-pipeline -dot           # emit Graphviz DOT and exit
 //	aarc -workload chatbot -trace trace.csv   # dump the sampling trace
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"strings"
 
-	"aarc/internal/baselines/bo"
-	"aarc/internal/baselines/maff"
-	"aarc/internal/baselines/naive"
-	"aarc/internal/core"
-	"aarc/internal/dag"
-	"aarc/internal/search"
-	"aarc/internal/workflow"
-	"aarc/internal/workloads"
+	"aarc"
 )
 
 func main() {
@@ -35,16 +32,24 @@ func main() {
 	var (
 		specPath     = flag.String("spec", "", "path to a JSON workflow definition (overrides -workload)")
 		workloadName = flag.String("workload", "chatbot", "workload: chatbot | ml-pipeline | video-analysis")
-		methodName   = flag.String("method", "aarc", "search method: aarc | bo | maff | random | grid")
+		methodName   = flag.String("method", "aarc", "search method from the registry (see -list-methods)")
 		seed         = flag.Uint64("seed", 42, "random seed for the simulator and searcher")
 		hostCores    = flag.Float64("cores", 96, "host CPU capacity shared by concurrent containers")
 		sloMS        = flag.Float64("slo-ms", 0, "override the workload SLO in milliseconds")
+		timeout      = flag.Duration("timeout", 0, "cancel the search after this wall-clock duration (0 = none)")
+		maxSamples   = flag.Int("max-samples", 0, "stop the search after this many samples (0 = unlimited)")
 		tracePath    = flag.String("trace", "", "write the sampling trace as CSV to this file")
 		dotOut       = flag.Bool("dot", false, "print the workflow DAG in Graphviz DOT format and exit")
+		listMethods  = flag.Bool("list-methods", false, "print the registered search methods and exit")
 		validateRuns = flag.Int("validate", 5, "number of validation executions of the chosen config")
 		verbose      = flag.Bool("verbose", false, "print the per-node execution breakdown of a validation run")
 	)
 	flag.Parse()
+
+	if *listMethods {
+		fmt.Print(methodList())
+		return
+	}
 
 	spec, err := loadSpec(*specPath, *workloadName)
 	if err != nil {
@@ -55,61 +60,53 @@ func main() {
 	}
 
 	if *dotOut {
-		weights := profileWeights(spec)
-		fmt.Print(dag.DOT(spec.G, weights, nil))
+		fmt.Print(aarc.DOT(spec))
 		return
 	}
 
-	runner, err := workflow.NewRunner(spec, workflow.RunnerOptions{
-		HostCores: *hostCores,
-		Noise:     true,
-		Seed:      *seed,
-	})
-	if err != nil {
-		log.Fatal(err)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
-	searcher, err := buildSearcher(*methodName, *seed)
+	rec, err := aarc.Configure(ctx, spec,
+		aarc.WithMethod(*methodName),
+		aarc.WithSeed(*seed),
+		aarc.WithHostCores(*hostCores),
+		aarc.WithBudget(aarc.Budget{MaxSamples: *maxSamples}),
+	)
 	if err != nil {
-		log.Fatal(err)
-	}
-
-	outcome, err := searcher.Search(runner, spec.SLOMS)
-	if err != nil {
-		log.Fatal(err)
+		if rec == nil || !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			log.Fatal(err)
+		}
+		log.Printf("search stopped early (%v); reporting the partial result", err)
 	}
 
 	fmt.Printf("workload     : %s (SLO %.0f s, %d functions, %d nodes)\n",
 		spec.Name, spec.SLOMS/1000, len(spec.FunctionGroups()), spec.G.NumNodes())
-	fmt.Printf("method       : %s\n", searcher.Name())
-	fmt.Printf("samples      : %d\n", outcome.Trace.Len())
-	fmt.Printf("search time  : %.1f s (simulated)\n", outcome.Trace.TotalRuntimeMS()/1000)
-	fmt.Printf("search cost  : %.1fk\n", outcome.Trace.TotalCost()/1000)
+	fmt.Printf("method       : %s\n", rec.Method)
+	fmt.Printf("samples      : %d\n", rec.Trace.Len())
+	fmt.Printf("search time  : %.1f s (simulated)\n", rec.Trace.TotalRuntimeMS()/1000)
+	fmt.Printf("search cost  : %.1fk\n", rec.Trace.TotalCost()/1000)
 	fmt.Println("configuration:")
-	for _, g := range outcome.Best.Keys() {
-		fmt.Printf("  %-12s %s\n", g, outcome.Best[g])
+	for _, g := range rec.Assignment.Keys() {
+		fmt.Printf("  %-12s %s\n", g, rec.Assignment[g])
 	}
 
 	if *validateRuns > 0 {
-		var e2es, costs []float64
-		var last search.Result
-		for i := 0; i < *validateRuns; i++ {
-			res, err := runner.Evaluate(outcome.Best)
-			if err != nil {
-				log.Fatal(err)
-			}
-			e2es = append(e2es, res.E2EMS)
-			costs = append(costs, res.Cost)
-			last = res
+		results, err := rec.Validate(*validateRuns)
+		if err != nil {
+			log.Fatal(err)
 		}
-		mean := func(xs []float64) float64 {
-			s := 0.0
-			for _, x := range xs {
-				s += x
-			}
-			return s / float64(len(xs))
+		var me2e, mcost float64
+		for _, res := range results {
+			me2e += res.E2EMS
+			mcost += res.Cost
 		}
-		me2e, mcost := mean(e2es), mean(costs)
+		me2e /= float64(len(results))
+		mcost /= float64(len(results))
 		status := "compliant"
 		if me2e > spec.SLOMS {
 			status = "VIOLATED"
@@ -118,7 +115,7 @@ func main() {
 			me2e/1000, *validateRuns, status, mcost/1000)
 
 		if *verbose {
-			printNodeBreakdown(spec, last)
+			printNodeBreakdown(spec, results[len(results)-1])
 		}
 	}
 
@@ -128,50 +125,39 @@ func main() {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		if err := outcome.Trace.WriteCSV(f); err != nil {
+		if err := rec.Trace.WriteCSV(f); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("trace        : %s (%d samples)\n", *tracePath, outcome.Trace.Len())
+		fmt.Printf("trace        : %s (%d samples)\n", *tracePath, rec.Trace.Len())
 	}
+}
+
+// methodList renders the registry: one "name  DisplayName" line per method.
+func methodList() string {
+	out := ""
+	for _, m := range aarc.Methods() {
+		s, err := aarc.NewSearcher(m, 0)
+		if err != nil {
+			continue
+		}
+		out += fmt.Sprintf("%-8s %s\n", m, s.Name())
+	}
+	return out
 }
 
 // loadSpec reads a JSON workflow definition when a path is given, otherwise
 // a built-in workload by name.
-func loadSpec(specPath, workloadName string) (*workflow.Spec, error) {
+func loadSpec(specPath, workloadName string) (*aarc.Spec, error) {
 	if specPath == "" {
-		return workloads.ByName(workloadName)
+		return aarc.Workload(workloadName)
 	}
-	f, err := os.Open(specPath)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return workflow.DecodeSpec(f)
-}
-
-func buildSearcher(name string, seed uint64) (search.Searcher, error) {
-	switch strings.ToLower(name) {
-	case "aarc":
-		return core.New(core.DefaultOptions()), nil
-	case "bo":
-		opts := bo.DefaultOptions()
-		opts.Seed = seed
-		return bo.New(opts), nil
-	case "maff":
-		return maff.New(maff.DefaultOptions()), nil
-	case "random":
-		return &naive.Random{Budget: 100, Seed: seed}, nil
-	case "grid":
-		return &naive.UniformGrid{CPUPoints: 8, MemPoints: 8}, nil
-	default:
-		return nil, fmt.Errorf("unknown method %q (want aarc, bo, maff, random or grid)", name)
-	}
+	return aarc.LoadSpec(specPath)
 }
 
 // printNodeBreakdown renders one execution's per-node timeline in topo
 // order: start/finish on the simulated clock, billed duration, cold-start
 // share, configuration and cost.
-func printNodeBreakdown(spec *workflow.Spec, res search.Result) {
+func printNodeBreakdown(spec *aarc.Spec, res aarc.Result) {
 	topo, err := spec.G.TopoSort()
 	if err != nil {
 		log.Fatal(err)
@@ -194,18 +180,4 @@ func printNodeBreakdown(spec *workflow.Spec, res search.Result) {
 			id, nr.Group, nr.StartMS/1000, nr.FinishMS/1000, nr.RuntimeMS/1000,
 			nr.ColdStartMS/1000, nr.Cost/1000, nr.Config, flag)
 	}
-}
-
-// profileWeights labels DAG nodes with their noise-free base-config runtime.
-func profileWeights(spec *workflow.Spec) map[string]float64 {
-	w := make(map[string]float64, spec.G.NumNodes())
-	for _, id := range spec.G.Nodes() {
-		p := spec.Profiles[id]
-		cfg := spec.Base[spec.GroupOf(id)]
-		t, err := p.MeanRuntime(cfg, 1)
-		if err == nil {
-			w[id] = t
-		}
-	}
-	return w
 }

@@ -5,27 +5,52 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"aarc"
 )
 
-func TestBuildSearcher(t *testing.T) {
+func TestMethodRegistryCoversBuiltins(t *testing.T) {
+	registered := make(map[string]bool)
+	for _, m := range aarc.Methods() {
+		registered[m] = true
+	}
 	for name, want := range map[string]string{
 		"aarc":   "AARC",
-		"AARC":   "AARC",
 		"bo":     "BO",
 		"maff":   "MAFF",
 		"random": "Random",
 		"grid":   "UniformGrid",
 	} {
-		s, err := buildSearcher(name, 1)
+		if !registered[name] {
+			t.Errorf("method %q missing from registry %v", name, aarc.Methods())
+			continue
+		}
+		s, err := aarc.NewSearcher(name, 1)
 		if err != nil {
-			t.Fatalf("buildSearcher(%q): %v", name, err)
+			t.Fatalf("NewSearcher(%q): %v", name, err)
 		}
 		if s.Name() != want {
-			t.Errorf("buildSearcher(%q).Name() = %s, want %s", name, s.Name(), want)
+			t.Errorf("NewSearcher(%q).Name() = %s, want %s", name, s.Name(), want)
 		}
 	}
-	if _, err := buildSearcher("nope", 1); err == nil {
+	// Case-insensitive lookup, as the experiments suite resolves "AARC".
+	if s, err := aarc.NewSearcher("AARC", 1); err != nil || s.Name() != "AARC" {
+		t.Errorf("NewSearcher(AARC) = %v, %v", s, err)
+	}
+	if _, err := aarc.NewSearcher("nope", 1); err == nil {
 		t.Error("unknown method should error")
+	}
+}
+
+func TestMethodList(t *testing.T) {
+	out := methodList()
+	for _, name := range []string{"aarc", "bo", "maff", "random", "grid"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("method list missing %q:\n%s", name, out)
+		}
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != len(aarc.Methods()) {
+		t.Errorf("method list should have one line per registered method:\n%s", out)
 	}
 }
 
@@ -88,21 +113,18 @@ func TestLoadShippedExampleSpec(t *testing.T) {
 	}
 }
 
-func TestProfileWeights(t *testing.T) {
+func TestDOTHasWeightedNodes(t *testing.T) {
 	spec, err := loadSpec("", "chatbot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := profileWeights(spec)
-	if len(w) != spec.G.NumNodes() {
-		t.Errorf("weights for %d nodes, want %d", len(w), spec.G.NumNodes())
+	dot := aarc.DOT(spec)
+	if !strings.Contains(dot, "digraph") {
+		t.Errorf("DOT output missing digraph header:\n%s", dot)
 	}
-	for id, v := range w {
-		if v <= 0 {
-			t.Errorf("node %s weight %v", id, v)
-		}
-		if strings.TrimSpace(id) == "" {
-			t.Error("empty node id")
+	for _, id := range spec.G.Nodes() {
+		if !strings.Contains(dot, id) {
+			t.Errorf("DOT output missing node %q", id)
 		}
 	}
 }

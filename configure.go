@@ -1,0 +1,159 @@
+package aarc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"aarc/internal/inputaware"
+	"aarc/internal/search"
+	"aarc/internal/workflow"
+)
+
+// Recommendation is what Configure returns: the chosen per-function
+// configuration, the sampling trace behind it, and the final measured
+// execution of that configuration.
+type Recommendation struct {
+	// Method is the presentation name of the search method used ("AARC",
+	// "BO", ...).
+	Method string
+	// Assignment is the recommended per-group configuration.
+	Assignment Assignment
+	// Trace is the full sampling trace of the search.
+	Trace *Trace
+	// Final is the last measurement of Assignment the search observed, so
+	// callers can report validated numbers without re-running the workflow.
+	Final Result
+	// SLOMS is the end-to-end latency SLO (milliseconds) the search ran
+	// against.
+	SLOMS float64
+
+	runner *workflow.Runner
+}
+
+// SLOCompliant reports whether the final measured execution met the SLO.
+// A zero Final — the searcher never measured the assignment it returned,
+// possible for the naive baselines when no sample was feasible — is not
+// known to be compliant and reports false.
+func (r *Recommendation) SLOCompliant() bool {
+	return r.Final.E2EMS > 0 && !r.Final.OOM && r.Final.E2EMS <= r.SLOMS
+}
+
+// Validate re-executes the recommended assignment n times on the search's
+// own simulator — continuing its RNG stream, exactly like a validation run
+// appended to the search — and returns the per-run results.
+func (r *Recommendation) Validate(n int) ([]Result, error) {
+	out := make([]Result, 0, n)
+	for i := 0; i < n; i++ {
+		res, err := r.runner.Evaluate(r.Assignment)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Evaluate runs the workflow once under an arbitrary assignment on the
+// search's simulator (for what-if probing around the recommendation).
+func (r *Recommendation) Evaluate(a Assignment) (Result, error) {
+	return r.runner.Evaluate(a)
+}
+
+// newSettings folds the options into the defaults.
+func newSettings(opts []Option) settings {
+	s := defaultSettings()
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
+}
+
+func (s settings) runnerOptions() workflow.RunnerOptions {
+	return workflow.RunnerOptions{
+		HostCores:  s.hostCores,
+		Noise:      s.noise,
+		Seed:       s.seed,
+		InputScale: s.inputScale,
+	}
+}
+
+func (s settings) searchOptions(spec *Spec) search.Options {
+	sloMS := s.sloMS
+	if sloMS <= 0 {
+		sloMS = spec.SLOMS
+	}
+	return search.Options{
+		SLOMS:        sloMS,
+		MaxSamples:   s.maxSamples,
+		MaxSimCostMS: s.maxSimMS,
+		Progress:     s.progress,
+	}
+}
+
+// NewRunner builds a simulator-backed runner for a spec, honoring
+// WithHostCores, WithNoise, WithSeed and WithInputScale. Use it for serving
+// and validation flows that evaluate assignments directly.
+func NewRunner(spec *Spec, opts ...Option) (*Runner, error) {
+	return workflow.NewRunner(spec, newSettings(opts).runnerOptions())
+}
+
+// Configure searches a resource configuration for the workflow under its
+// end-to-end latency SLO and returns the recommendation.
+//
+// The method, seed, SLO override, budgets and progress observation all come
+// from the functional options; the defaults run the paper's AARC method.
+// Cancelling ctx stops the search at the next recorded sample: Configure
+// then returns the partial recommendation together with ctx.Err(). A
+// consumed WithBudget budget is a normal stop: the partial recommendation
+// returns with a nil error.
+func Configure(ctx context.Context, spec *Spec, opts ...Option) (*Recommendation, error) {
+	if spec == nil {
+		return nil, errors.New("aarc: Configure with nil spec")
+	}
+	s := newSettings(opts)
+	runner, err := workflow.NewRunner(spec, s.runnerOptions())
+	if err != nil {
+		return nil, err
+	}
+	searcher, err := search.New(s.method, s.seed)
+	if err != nil {
+		return nil, err
+	}
+	sopts := s.searchOptions(spec)
+	out, serr := searcher.Search(ctx, runner, sopts)
+	if out.Trace == nil {
+		// The search failed before recording anything: no partial result.
+		return nil, serr
+	}
+	rec := &Recommendation{
+		Method:     searcher.Name(),
+		Assignment: out.Best,
+		Trace:      out.Trace,
+		Final:      out.Final,
+		SLOMS:      sopts.SLOMS,
+		runner:     runner,
+	}
+	return rec, serr
+}
+
+// ConfigureClasses runs one search per input-size class through the
+// input-aware configuration engine (§IV-D) and returns the engine that
+// dispatches requests to their class configurations. The same options as
+// Configure apply; each class search runs on a fresh runner at the class's
+// input scale.
+func ConfigureClasses(ctx context.Context, spec *Spec, classes []InputClass, opts ...Option) (*InputEngine, error) {
+	if spec == nil {
+		return nil, errors.New("aarc: ConfigureClasses with nil spec")
+	}
+	s := newSettings(opts)
+	searcher, err := search.New(s.method, s.seed)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := inputaware.Configure(ctx, spec, s.runnerOptions(), searcher, s.searchOptions(spec), classes)
+	if err != nil {
+		return nil, fmt.Errorf("aarc: %w", err)
+	}
+	return engine, nil
+}

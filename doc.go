@@ -6,7 +6,31 @@
 // substrate, the three evaluation workloads, and a harness regenerating
 // every table and figure of the paper's evaluation.
 //
-// Start with the examples:
+// The root package is the public facade; the implementation lives under
+// internal/. The minimal flow is one call:
+//
+//	spec, _ := aarc.Workload("chatbot")          // or aarc.LoadSpec("wf.json")
+//	rec, err := aarc.Configure(ctx, spec)        // runs the AARC search
+//	fmt.Println(rec.Assignment, rec.Final.E2EMS) // config + validated run
+//
+// Configure is tuned with functional options: WithMethod selects any
+// registered search method (aarc, bo, maff, random, grid — see Methods),
+// WithSLO overrides the spec's latency target, WithBudget bounds the search
+// by sample count or simulated time, WithProgress streams every sample as
+// it is recorded, and WithSeed/WithHostCores/WithNoise control the
+// simulated testbed. Cancelling the context stops the search at the next
+// recorded sample and returns the partial recommendation with ctx.Err();
+// an exhausted budget is a normal stop.
+//
+// Custom workflows are built in code from NewGraph, Profile and Spec (see
+// examples/customworkflow) or shipped as JSON (DecodeSpec/EncodeSpec).
+// Input-sensitive serving uses ConfigureClasses, which searches one
+// configuration per input-size class and dispatches requests to them
+// (examples/inputaware). Runner, obtained from NewRunner or
+// Recommendation.Validate, evaluates assignments directly for serving and
+// what-if flows.
+//
+// Start with the examples, which use only this public API:
 //
 //	go run ./examples/quickstart
 //	go run ./examples/searchcomparison
@@ -17,8 +41,9 @@
 //
 //	go run ./cmd/aarcbench all
 //
-// The implementation lives in internal/: internal/core is the paper's
-// contribution (Graph-Centric Scheduler + Priority Configurator); the other
-// packages are the substrates it runs on. See DESIGN.md for the full system
-// inventory and EXPERIMENTS.md for paper-versus-measured results.
+// Under internal/, internal/core is the paper's contribution (Graph-Centric
+// Scheduler + Priority Configurator) and internal/search defines the
+// context-aware Searcher contract and method registry every searcher
+// implements. See DESIGN.md for the full system inventory and
+// EXPERIMENTS.md for paper-versus-measured results.
 package aarc

@@ -1,8 +1,8 @@
 // Command customworkflow shows how a developer brings their own workflow to
-// AARC: define the DAG and per-function performance profiles in code (or
-// load the same structure from JSON via workflow.DecodeSpec), hand it to the
-// Graph-Centric Scheduler with an end-to-end SLO, and receive a decoupled
-// per-function configuration.
+// AARC through the public facade: define the DAG and per-function
+// performance profiles in code (or load the same structure from JSON via
+// aarc.DecodeSpec), hand it to Configure with an end-to-end SLO, and receive
+// a decoupled per-function configuration.
 //
 // The example models a log-analytics pipeline:
 //
@@ -13,19 +13,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"aarc/internal/core"
-	"aarc/internal/dag"
-	"aarc/internal/perfmodel"
-	"aarc/internal/resources"
-	"aarc/internal/workflow"
+	"aarc"
 )
 
-func buildSpec() *workflow.Spec {
-	g := dag.New()
+func buildSpec() *aarc.Spec {
+	g := aarc.NewGraph()
 	for _, id := range []string{"ingest", "parse", "index", "aggregate", "alert", "publish"} {
 		g.MustAddNode(id)
 	}
@@ -36,7 +33,7 @@ func buildSpec() *workflow.Spec {
 	g.MustAddEdge("index", "publish")
 	g.MustAddEdge("alert", "publish")
 
-	profiles := map[string]perfmodel.Profile{
+	profiles := map[string]aarc.Profile{
 		"ingest": {Name: "ingest", CPUWorkMS: 2000, ParallelFrac: 0.2, MaxParallel: 2, IOMS: 3000,
 			FootprintMB: 512, MinMemMB: 256, PressureK: 1, NoiseStd: 0.02},
 		"parse": {Name: "parse", CPUWorkMS: 15_000, ParallelFrac: 0.7, MaxParallel: 8, IOMS: 1000,
@@ -51,14 +48,14 @@ func buildSpec() *workflow.Spec {
 			FootprintMB: 256, MinMemMB: 128, PressureK: 1, NoiseStd: 0.02},
 	}
 
-	spec := &workflow.Spec{
+	spec := &aarc.Spec{
 		Name:     "log-analytics",
 		G:        g,
 		Profiles: profiles,
 		SLOMS:    90_000,
-		Limits:   resources.DefaultLimits(),
+		Limits:   aarc.DefaultLimits(),
 	}
-	spec.Base = resources.Uniform(spec.FunctionGroups(), resources.Config{CPU: 4, MemMB: 4096})
+	spec.Base = aarc.UniformAssignment(spec.FunctionGroups(), aarc.Config{CPU: 4, MemMB: 4096})
 	return spec
 }
 
@@ -72,18 +69,15 @@ func main() {
 	// The same definition can be shipped as JSON (see -spec in cmd/aarc).
 	fmt.Println("JSON form of this workflow (truncated):")
 	enc := &truncWriter{limit: 400}
-	if err := workflow.EncodeSpec(enc, spec); err != nil {
+	if err := aarc.EncodeSpec(enc, spec); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s...\n\n", enc.buf)
 
-	runner, err := workflow.NewRunner(spec, workflow.RunnerOptions{
-		HostCores: 96, Noise: true, Seed: 21,
-	})
+	runner, err := aarc.NewRunner(spec, aarc.WithSeed(21))
 	if err != nil {
 		log.Fatal(err)
 	}
-
 	base, err := runner.Evaluate(spec.Base)
 	if err != nil {
 		log.Fatal(err)
@@ -92,23 +86,21 @@ func main() {
 	fmt.Printf("base execution: e2e %.1f s, cost %.1fk (SLO %.0f s)\n\n",
 		base.E2EMS/1000, base.Cost/1000, spec.SLOMS/1000)
 
-	outcome, err := core.New(core.DefaultOptions()).Search(runner, spec.SLOMS)
+	rec, err := aarc.Configure(context.Background(), spec, aarc.WithSeed(21))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("AARC search   : %d samples, %.0f s simulated\n",
-		outcome.Trace.Len(), outcome.Trace.TotalRuntimeMS()/1000)
-	for _, g := range outcome.Best.Keys() {
-		fmt.Printf("  %-10s %s\n", g, outcome.Best[g])
+		rec.Trace.Len(), rec.Trace.TotalRuntimeMS()/1000)
+	for _, g := range rec.Assignment.Keys() {
+		fmt.Printf("  %-10s %s\n", g, rec.Assignment[g])
 	}
 
-	final, err := runner.Evaluate(outcome.Best)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// The final measured execution ships with the recommendation.
+	final := rec.Final
 	fmt.Printf("\nconfigured    : e2e %.1f s, cost %.1fk (%.1f%% cheaper than base)\n",
 		final.E2EMS/1000, final.Cost/1000, (base.Cost-final.Cost)/base.Cost*100)
-	if final.E2EMS > spec.SLOMS {
+	if !rec.SLOCompliant() {
 		fmt.Fprintln(os.Stderr, "warning: SLO violated")
 		os.Exit(1)
 	}

@@ -1,33 +1,30 @@
 // Command inputaware demonstrates the §IV-D Input-Aware Configuration
-// Engine on the Video Analysis workflow: AARC configures one resource
-// assignment per input-size class offline, then serves a mixed request
-// stream, dispatching each request to its class's configuration — staying
-// inside the SLO where a single static configuration would violate it on
-// heavy inputs.
+// Engine on the Video Analysis workflow, driven entirely through the public
+// facade: AARC configures one resource assignment per input-size class
+// offline, then serves a mixed request stream, dispatching each request to
+// its class's configuration — staying inside the SLO where a single static
+// configuration would violate it on heavy inputs.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"aarc/internal/core"
-	"aarc/internal/inputaware"
-	"aarc/internal/workflow"
-	"aarc/internal/workloads"
+	"aarc"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	spec := workloads.VideoAnalysis()
-	classes := inputaware.DefaultVideoClasses()
+	spec, err := aarc.Workload("video-analysis")
+	if err != nil {
+		log.Fatal(err)
+	}
+	classes := aarc.DefaultVideoClasses()
 
 	fmt.Printf("configuring %s per input class (SLO %.0f s)...\n", spec.Name, spec.SLOMS/1000)
-	engine, err := inputaware.Configure(spec,
-		workflow.RunnerOptions{HostCores: 96, Noise: true, Seed: 7},
-		core.New(core.DefaultOptions()),
-		classes,
-	)
+	engine, err := aarc.ConfigureClasses(context.Background(), spec, classes, aarc.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,9 +36,7 @@ func main() {
 	}
 
 	// Serve a mixed request stream.
-	serving, err := workflow.NewRunner(spec, workflow.RunnerOptions{
-		HostCores: 96, Noise: true, Seed: 99,
-	})
+	serving, err := aarc.NewRunner(spec, aarc.WithSeed(99))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +49,7 @@ func main() {
 	}
 	violations := 0
 	for _, req := range stream {
-		cls, cfg := engine.Dispatch(inputaware.Request{ID: req.id, Scale: req.scale})
+		cls, cfg := engine.Dispatch(aarc.InputRequest{ID: req.id, Scale: req.scale})
 		res, err := serving.EvaluateScale(cfg, req.scale)
 		if err != nil {
 			log.Fatal(err)

@@ -1,54 +1,45 @@
-// Command quickstart shows the minimal AARC flow: load a built-in workflow,
-// run the AARC search against its SLO, and print the per-function decoupled
-// configuration it selects together with the search statistics.
+// Command quickstart shows the minimal AARC flow through the public facade:
+// load a built-in workflow, run the AARC search against its SLO, and print
+// the per-function decoupled configuration it selects together with the
+// search statistics and the final validated execution.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"aarc/internal/core"
-	"aarc/internal/workflow"
-	"aarc/internal/workloads"
+	"aarc"
 )
 
 func main() {
-	spec := workloads.Chatbot()
-	runner, err := workflow.NewRunner(spec, workflow.RunnerOptions{
-		HostCores: 96,
-		Noise:     true,
-		Seed:      42,
-	})
+	spec, err := aarc.Workload("chatbot")
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	searcher := core.New(core.DefaultOptions())
-	outcome, err := searcher.Search(runner, spec.SLOMS)
+	rec, err := aarc.Configure(context.Background(), spec, aarc.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("workflow   : %s (SLO %.0f s)\n", spec.Name, spec.SLOMS/1000)
-	fmt.Printf("samples    : %d\n", outcome.Trace.Len())
-	fmt.Printf("search time: %.1f s (simulated)\n", outcome.Trace.TotalRuntimeMS()/1000)
-	fmt.Printf("search cost: %.1fk\n", outcome.Trace.TotalCost()/1000)
+	fmt.Printf("samples    : %d\n", rec.Trace.Len())
+	fmt.Printf("search time: %.1f s (simulated)\n", rec.Trace.TotalRuntimeMS()/1000)
+	fmt.Printf("search cost: %.1fk\n", rec.Trace.TotalCost()/1000)
 	fmt.Println("chosen configuration:")
-	for _, g := range outcome.Best.Keys() {
-		fmt.Printf("  %-10s %s\n", g, outcome.Best[g])
+	for _, g := range rec.Assignment.Keys() {
+		fmt.Printf("  %-10s %s\n", g, rec.Assignment[g])
 	}
 
-	// Validate the chosen configuration with a fresh execution.
-	res, err := runner.Evaluate(outcome.Best)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// The recommendation carries the final measured execution of the chosen
+	// configuration — no need to re-run the workflow just to report it.
 	fmt.Printf("validation : e2e %.1f s (SLO %.0f s, %s), cost %.1fk\n",
-		res.E2EMS/1000, spec.SLOMS/1000, compliance(res.E2EMS, spec.SLOMS), res.Cost/1000)
+		rec.Final.E2EMS/1000, spec.SLOMS/1000, compliance(rec), rec.Final.Cost/1000)
 }
 
-func compliance(e2e, slo float64) string {
-	if e2e <= slo {
+func compliance(rec *aarc.Recommendation) string {
+	if rec.SLOCompliant() {
 		return "compliant"
 	}
 	return "VIOLATED"

@@ -1,24 +1,21 @@
 // Command searchcomparison reruns the paper's core comparison on one
 // workload: AARC vs Bayesian Optimization vs MAFF, reporting the search
 // totals (Fig. 5), the chosen configurations, and the validated runtime and
-// cost of each (Table II, at reduced validation count).
+// cost of each (Table II, at reduced validation count). It drives everything
+// through the public aarc facade.
 //
 //	go run ./examples/searchcomparison            # chatbot
 //	go run ./examples/searchcomparison ml-pipeline
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math"
 	"os"
 
-	"aarc/internal/baselines/bo"
-	"aarc/internal/baselines/maff"
-	"aarc/internal/core"
-	"aarc/internal/search"
-	"aarc/internal/stats"
-	"aarc/internal/workflow"
-	"aarc/internal/workloads"
+	"aarc"
 )
 
 func main() {
@@ -28,62 +25,71 @@ func main() {
 	if len(os.Args) > 1 {
 		name = os.Args[1]
 	}
-	spec, err := workloads.ByName(name)
+	spec, err := aarc.Workload(name)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	searchers := []search.Searcher{
-		core.New(core.DefaultOptions()),
-		bo.New(bo.DefaultOptions()),
-		maff.New(maff.DefaultOptions()),
-	}
+	methods := []string{"aarc", "bo", "maff"}
 
 	fmt.Printf("%s — SLO %.0f s, %d configurable functions\n\n",
 		spec.Name, spec.SLOMS/1000, len(spec.FunctionGroups()))
 	fmt.Printf("%-6s %8s %14s %14s %14s %12s\n",
 		"method", "samples", "search_time_s", "search_cost_k", "avg_runtime_s", "avg_cost_k")
 
-	for _, s := range searchers {
+	recs := make([]*aarc.Recommendation, 0, len(methods))
+	for _, m := range methods {
 		// Each method gets an identically-seeded fresh simulator, exactly
 		// like the paper's per-method experiment runs.
-		runner, err := workflow.NewRunner(spec, workflow.RunnerOptions{
-			HostCores: 96, Noise: true, Seed: 42,
-		})
+		rec, err := aarc.Configure(context.Background(), spec,
+			aarc.WithMethod(m), aarc.WithSeed(42))
 		if err != nil {
 			log.Fatal(err)
 		}
-		outcome, err := s.Search(runner, spec.SLOMS)
-		if err != nil {
-			log.Fatal(err)
-		}
+		recs = append(recs, rec)
 
+		// Validation continues the search's own simulator stream.
+		results, err := rec.Validate(20)
+		if err != nil {
+			log.Fatal(err)
+		}
 		var e2es, costs []float64
-		for i := 0; i < 20; i++ {
-			res, err := runner.Evaluate(outcome.Best)
-			if err != nil {
-				log.Fatal(err)
-			}
+		for _, res := range results {
 			e2es = append(e2es, res.E2EMS)
 			costs = append(costs, res.Cost)
 		}
 		fmt.Printf("%-6s %8d %14.0f %14.0f %11.1f±%.1f %12.1f\n",
-			s.Name(),
-			outcome.Trace.Len(),
-			outcome.Trace.TotalRuntimeMS()/1000,
-			outcome.Trace.TotalCost()/1000,
-			stats.Mean(e2es)/1000, stats.SampleStdDev(e2es)/1000,
-			stats.Mean(costs)/1000,
+			rec.Method,
+			rec.Trace.Len(),
+			rec.Trace.TotalRuntimeMS()/1000,
+			rec.Trace.TotalCost()/1000,
+			mean(e2es)/1000, stddev(e2es)/1000,
+			mean(costs)/1000,
 		)
 	}
 
 	fmt.Println("\nper-function configurations:")
-	for _, s := range searchers {
-		runner, _ := workflow.NewRunner(spec, workflow.RunnerOptions{HostCores: 96, Noise: true, Seed: 42})
-		outcome, err := s.Search(runner, spec.SLOMS)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  %-6s %s\n", s.Name(), outcome.Best)
+	for _, rec := range recs {
+		fmt.Printf("  %-6s %s\n", rec.Method, rec.Assignment)
 	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
 }

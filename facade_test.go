@@ -1,0 +1,189 @@
+package aarc_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"aarc"
+)
+
+func TestWorkloadAndNames(t *testing.T) {
+	for _, name := range aarc.WorkloadNames() {
+		spec, err := aarc.Workload(name)
+		if err != nil {
+			t.Fatalf("Workload(%q): %v", name, err)
+		}
+		if spec.Name != name {
+			t.Errorf("Workload(%q).Name = %s", name, spec.Name)
+		}
+	}
+	if _, err := aarc.Workload("nope"); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestConfigureDefaultsToAARC(t *testing.T) {
+	spec, err := aarc.Workload("chatbot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := aarc.Configure(context.Background(), spec,
+		aarc.WithBudget(aarc.Budget{MaxSamples: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Method != "AARC" {
+		t.Errorf("default method = %s, want AARC", rec.Method)
+	}
+	if rec.Trace.Len() != 6 {
+		t.Errorf("budget of 6 samples recorded %d", rec.Trace.Len())
+	}
+	if len(rec.Assignment) == 0 {
+		t.Error("empty assignment")
+	}
+	if rec.SLOMS != spec.SLOMS {
+		t.Errorf("SLOMS = %v, want the spec's %v", rec.SLOMS, spec.SLOMS)
+	}
+}
+
+func TestSLOCompliantFalseWhenNeverMeasured(t *testing.T) {
+	spec, err := aarc.Workload("chatbot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An SLO no sample can meet: the naive searcher falls back to the base
+	// assignment without ever measuring it, so Final stays zero and the
+	// recommendation must not claim compliance.
+	rec, err := aarc.Configure(context.Background(), spec,
+		aarc.WithMethod("random"),
+		aarc.WithSLO(1*time.Millisecond),
+		aarc.WithBudget(aarc.Budget{MaxSamples: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Final.E2EMS != 0 {
+		t.Fatalf("expected unmeasured zero Final, got %+v", rec.Final)
+	}
+	if rec.SLOCompliant() {
+		t.Error("SLOCompliant must be false when the assignment was never measured")
+	}
+}
+
+func TestConfigureUnknownMethod(t *testing.T) {
+	spec, err := aarc.Workload("chatbot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = aarc.Configure(context.Background(), spec, aarc.WithMethod("nope"))
+	if err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Errorf("err = %v, want unknown-method error listing the registry", err)
+	}
+}
+
+func TestConfigureCancelledContextReturnsPartial(t *testing.T) {
+	spec, err := aarc.Workload("chatbot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec, err := aarc.Configure(ctx, spec)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rec == nil || rec.Trace == nil || rec.Trace.Len() == 0 {
+		t.Fatal("cancelled Configure should return the partial recommendation")
+	}
+}
+
+func TestConfigureSLOAndProgress(t *testing.T) {
+	spec, err := aarc.Workload("chatbot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	rec, err := aarc.Configure(context.Background(), spec,
+		aarc.WithMethod("maff"),
+		aarc.WithSLO(150*time.Second),
+		aarc.WithProgress(func(aarc.Sample) { n++ }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SLOMS != 150_000 {
+		t.Errorf("WithSLO(150s) → SLOMS %v", rec.SLOMS)
+	}
+	if n != rec.Trace.Len() {
+		t.Errorf("progress saw %d of %d samples", n, rec.Trace.Len())
+	}
+}
+
+func TestRecommendationValidateContinuesSimulator(t *testing.T) {
+	spec, err := aarc.Workload("chatbot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := aarc.Configure(context.Background(), spec, aarc.WithMethod("maff"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Final.E2EMS <= 0 {
+		t.Fatal("Final not populated")
+	}
+	results, err := rec.Validate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("Validate(3) returned %d results", len(results))
+	}
+	for _, res := range results {
+		if res.E2EMS <= 0 || res.Cost <= 0 {
+			t.Errorf("implausible validation result %+v", res)
+		}
+	}
+}
+
+func TestConfigureClassesThroughFacade(t *testing.T) {
+	spec, err := aarc.Workload("video-analysis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := []aarc.InputClass{{Name: "small", Scale: 0.5}, {Name: "big", Scale: 1.2}}
+	// Keep the test fast: bound each per-class search.
+	engine, err := aarc.ConfigureClasses(context.Background(), spec, classes,
+		aarc.WithMethod("maff"), aarc.WithBudget(aarc.Budget{MaxSamples: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cls := range classes {
+		if _, ok := engine.Config(cls.Name); !ok {
+			t.Errorf("missing config for class %q", cls.Name)
+		}
+	}
+	cls, cfg := engine.Dispatch(aarc.InputRequest{ID: 1, Scale: 0.4})
+	if cls.Name != "small" || len(cfg) == 0 {
+		t.Errorf("Dispatch = %v, %v", cls, cfg)
+	}
+}
+
+func TestNewRunnerEvaluatesSpec(t *testing.T) {
+	spec, err := aarc.Workload("ml-pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := aarc.NewRunner(spec, aarc.WithSeed(7), aarc.WithNoise(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Evaluate(spec.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.E2EMS <= 0 || len(res.Nodes) != spec.G.NumNodes() {
+		t.Errorf("implausible result: e2e %v, %d nodes", res.E2EMS, len(res.Nodes))
+	}
+}

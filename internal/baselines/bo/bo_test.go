@@ -1,6 +1,7 @@
 package bo
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -115,7 +116,7 @@ func TestSearchBudgetAndValidity(t *testing.T) {
 	opts.InitSamples = 5
 	opts.Candidates = 64
 	opts.Seed = 2
-	outcome, err := New(opts).Search(runner, spec.SLOMS)
+	outcome, err := New(opts).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestSearchImprovesOverWorstCase(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Budget = 40
 	opts.Seed = 3
-	outcome, err := New(opts).Search(runner, spec.SLOMS)
+	outcome, err := New(opts).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestSearchImprovesOverWorstCase(t *testing.T) {
 func TestSearchBadSLO(t *testing.T) {
 	spec := testutil.ChainSpec(60_000)
 	runner := testutil.NewRunner(t, spec, true, 2)
-	if _, err := New(DefaultOptions()).Search(runner, -5); err == nil {
+	if _, err := New(DefaultOptions()).Search(context.Background(), runner, search.Options{SLOMS: -5}); err == nil {
 		t.Error("negative SLO should error")
 	}
 }
@@ -167,7 +168,7 @@ func TestConstrainedModeRuns(t *testing.T) {
 	opts.Budget = 20
 	opts.Constrained = true
 	opts.Seed = 4
-	outcome, err := New(opts).Search(runner, spec.SLOMS)
+	outcome, err := New(opts).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestSearchDeterministicPerSeed(t *testing.T) {
 		opts := DefaultOptions()
 		opts.Budget = 15
 		opts.Seed = 9
-		outcome, err := New(opts).Search(runner, spec.SLOMS)
+		outcome, err := New(opts).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -248,7 +249,7 @@ func TestFitHyperparamsMode(t *testing.T) {
 	opts.Budget = 20
 	opts.FitHyperparams = true
 	opts.Seed = 6
-	outcome, err := New(opts).Search(runner, spec.SLOMS)
+	outcome, err := New(opts).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}

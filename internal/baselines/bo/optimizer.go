@@ -1,6 +1,7 @@
 package bo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -9,6 +10,14 @@ import (
 	"aarc/internal/resources"
 	"aarc/internal/search"
 )
+
+func init() {
+	search.Register("bo", func(seed uint64) search.Searcher {
+		opts := DefaultOptions()
+		opts.Seed = seed
+		return New(opts)
+	})
+}
 
 // Options tunes the Bayesian-optimization baseline.
 type Options struct {
@@ -125,14 +134,15 @@ func decode(groups []string, lim resources.Limits, x []float64) resources.Assign
 // probability that end-to-end latency meets the SLO. OOM or infeasible
 // observations are retained with penalized targets so the surrogate learns
 // to avoid those regions.
-func (o *Optimizer) Search(ev search.Evaluator, sloMS float64) (search.Outcome, error) {
+func (o *Optimizer) Search(ctx context.Context, ev search.Evaluator, opts search.Options) (search.Outcome, error) {
+	sloMS := opts.SLOMS
 	if sloMS <= 0 {
 		return search.Outcome{}, fmt.Errorf("bo: non-positive SLO %v", sloMS)
 	}
 	groups := ev.Functions()
 	lim := ev.Limits()
 	rng := rand.New(rand.NewPCG(o.opts.Seed, 0xb0b0b0b0))
-	trace := &search.Trace{Method: "BO"}
+	trace := search.NewTrace(ctx, "BO", opts)
 
 	var (
 		xs        [][]float64
@@ -140,8 +150,18 @@ func (o *Optimizer) Search(ev search.Evaluator, sloMS float64) (search.Outcome, 
 		runObs    []float64
 		bestCost  = math.Inf(1)
 		bestA     resources.Assignment
+		bestRes   search.Result
+		baseRes   search.Result
 		worstCost = 0.0
 	)
+	// outcome is the best-so-far result: the cheapest feasible point, or the
+	// base configuration (always the first point evaluated) as fallback.
+	outcome := func() search.Outcome {
+		if bestA == nil {
+			return search.Outcome{Best: ev.Base(), Trace: trace, Final: baseRes}
+		}
+		return search.Outcome{Best: bestA, Trace: trace, Final: bestRes}
+	}
 
 	evalPoint := func(a resources.Assignment, note string) error {
 		res, err := ev.Evaluate(a)
@@ -149,7 +169,7 @@ func (o *Optimizer) Search(ev search.Evaluator, sloMS float64) (search.Outcome, 
 			return err
 		}
 		feasible := !res.OOM && res.E2EMS <= sloMS
-		trace.Record(a, res, feasible && res.Cost < bestCost, note)
+		accepted := feasible && res.Cost < bestCost
 
 		cost, run := res.Cost, res.E2EMS
 		if res.Cost > worstCost {
@@ -163,24 +183,36 @@ func (o *Optimizer) Search(ev search.Evaluator, sloMS float64) (search.Outcome, 
 				run = sloMS * 1.5
 			}
 		}
+		if len(xs) == 0 {
+			baseRes = res // first point is always the base configuration
+		}
 		xs = append(xs, encode(groups, lim, a))
 		costObs = append(costObs, cost)
 		runObs = append(runObs, run)
-		if feasible && res.Cost < bestCost {
+		if accepted {
 			bestCost = res.Cost
 			bestA = a.Clone()
+			bestRes = res
 		}
-		return nil
+		return trace.Record(a, res, accepted, note)
+	}
+	// stop translates an evalPoint error: enforcement halts return the
+	// partial outcome, evaluation failures the error itself.
+	stop := func(err error) (search.Outcome, error) {
+		if search.Halted(err) {
+			return outcome(), search.StopCause(err)
+		}
+		return search.Outcome{}, err
 	}
 
 	// Initial design: base configuration first (always feasible by
 	// construction), then random grid points.
 	if err := evalPoint(ev.Base(), "init-base"); err != nil {
-		return search.Outcome{}, err
+		return stop(err)
 	}
 	for i := 1; i < o.opts.InitSamples && trace.Len() < o.opts.Budget; i++ {
 		if err := evalPoint(randomAssignment(groups, lim, rng), "init-random"); err != nil {
-			return search.Outcome{}, err
+			return stop(err)
 		}
 	}
 
@@ -268,14 +300,11 @@ func (o *Optimizer) Search(ev search.Evaluator, sloMS float64) (search.Outcome, 
 		}
 		a := decode(groups, lim, bestX)
 		if err := evalPoint(a, "acquire"); err != nil {
-			return search.Outcome{}, err
+			return stop(err)
 		}
 	}
 
-	if bestA == nil {
-		bestA = ev.Base()
-	}
-	return search.Outcome{Best: bestA, Trace: trace}, nil
+	return outcome(), nil
 }
 
 // candidate draws one acquisition candidate. The paper's baseline samples

@@ -7,11 +7,18 @@
 package maff
 
 import (
+	"context"
 	"fmt"
 
 	"aarc/internal/resources"
 	"aarc/internal/search"
 )
+
+func init() {
+	search.Register("maff", func(seed uint64) search.Searcher {
+		return New(DefaultOptions())
+	})
+}
 
 // Options tunes the MAFF baseline.
 type Options struct {
@@ -67,13 +74,14 @@ func coupledAt(groups []string, lim resources.Limits, mem map[string]float64) re
 // stops when (a) the SLO is violated or a function OOMs — revert and
 // terminate, per the paper — (b) cost turns uphill beyond the tolerance, or
 // (c) the memory floor is reached.
-func (o *Optimizer) Search(ev search.Evaluator, sloMS float64) (search.Outcome, error) {
+func (o *Optimizer) Search(ctx context.Context, ev search.Evaluator, opts search.Options) (search.Outcome, error) {
+	sloMS := opts.SLOMS
 	if sloMS <= 0 {
 		return search.Outcome{}, fmt.Errorf("maff: non-positive SLO %v", sloMS)
 	}
 	groups := ev.Functions()
 	lim := ev.Limits()
-	trace := &search.Trace{Method: "MAFF"}
+	trace := search.NewTrace(ctx, "MAFF", opts)
 
 	mem := make(map[string]float64, len(groups))
 	for _, g := range groups {
@@ -85,14 +93,18 @@ func (o *Optimizer) Search(ev search.Evaluator, sloMS float64) (search.Outcome, 
 	if err != nil {
 		return search.Outcome{}, err
 	}
-	trace.Record(cur, res, !res.OOM && res.E2EMS <= sloMS, "init-coupled")
+	curRes := res // last measurement of cur
+	if err := trace.Record(cur, res, !res.OOM && res.E2EMS <= sloMS, "init-coupled"); err != nil {
+		return search.Outcome{Best: cur, Trace: trace, Final: curRes}, search.StopCause(err)
+	}
 	if res.OOM || res.E2EMS > sloMS {
 		// Even the coupled base misses the SLO: nothing MAFF can do but
 		// return it (the paper's adaptation has no recovery move).
-		return search.Outcome{Best: cur, Trace: trace}, nil
+		return search.Outcome{Best: cur, Trace: trace, Final: curRes}, nil
 	}
 	bestCost := res.Cost
 
+descend:
 	for {
 		next := make(map[string]float64, len(groups))
 		moved := false
@@ -114,23 +126,32 @@ func (o *Optimizer) Search(ev search.Evaluator, sloMS float64) (search.Outcome, 
 		if err != nil {
 			return search.Outcome{}, err
 		}
-		if res.OOM || res.E2EMS > sloMS {
-			trace.Record(candidate, res, false, "revert-slo")
-			break // revert to previous step and terminate
+		switch {
+		case res.OOM || res.E2EMS > sloMS:
+			// Revert to the previous step and terminate; a halt raised while
+			// recording the reverted probe changes nothing about the result.
+			if err := trace.Record(candidate, res, false, "revert-slo"); err != nil {
+				return search.Outcome{Best: cur, Trace: trace, Final: curRes}, search.StopCause(err)
+			}
+			break descend
+		case o.opts.CostIncreaseTol > 0 && res.Cost > bestCost*(1+o.opts.CostIncreaseTol):
+			if err := trace.Record(candidate, res, false, "revert-cost"); err != nil {
+				return search.Outcome{Best: cur, Trace: trace, Final: curRes}, search.StopCause(err)
+			}
+			break descend
 		}
-		if o.opts.CostIncreaseTol > 0 && res.Cost > bestCost*(1+o.opts.CostIncreaseTol) {
-			trace.Record(candidate, res, false, "revert-cost")
-			break
-		}
-		trace.Record(candidate, res, true, "descend")
 		mem = next
 		cur = candidate
+		curRes = res
+		if err := trace.Record(candidate, res, true, "descend"); err != nil {
+			return search.Outcome{Best: cur, Trace: trace, Final: curRes}, search.StopCause(err)
+		}
 		if res.Cost < bestCost {
 			bestCost = res.Cost
 		}
 	}
 
-	return search.Outcome{Best: cur, Trace: trace}, nil
+	return search.Outcome{Best: cur, Trace: trace, Final: curRes}, nil
 }
 
 var _ search.Searcher = (*Optimizer)(nil)

@@ -1,6 +1,7 @@
 package maff
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestOptionsNormalize(t *testing.T) {
 func TestSearchBadSLO(t *testing.T) {
 	spec := testutil.ChainSpec(60_000)
 	runner := testutil.NewRunner(t, spec, true, 1)
-	if _, err := New(DefaultOptions()).Search(runner, 0); err == nil {
+	if _, err := New(DefaultOptions()).Search(context.Background(), runner, search.Options{SLOMS: 0}); err == nil {
 		t.Error("zero SLO should error")
 	}
 }
@@ -37,7 +38,7 @@ func TestSearchBadSLO(t *testing.T) {
 func TestCouplingInvariant(t *testing.T) {
 	spec := testutil.ChainSpec(60_000)
 	runner := testutil.NewRunner(t, spec, true, 5)
-	outcome, err := New(DefaultOptions()).Search(runner, spec.SLOMS)
+	outcome, err := New(DefaultOptions()).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestCouplingInvariant(t *testing.T) {
 func TestMemoryDescendsMonotonically(t *testing.T) {
 	spec := testutil.ChainSpec(60_000)
 	runner := testutil.NewRunner(t, spec, true, 5)
-	outcome, err := New(DefaultOptions()).Search(runner, spec.SLOMS)
+	outcome, err := New(DefaultOptions()).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestFinalConfigMeetsSLO(t *testing.T) {
 	for seed := uint64(1); seed <= 5; seed++ {
 		spec := testutil.ChainSpec(45_000)
 		runner := testutil.NewRunner(t, spec, true, seed)
-		outcome, err := New(DefaultOptions()).Search(runner, spec.SLOMS)
+		outcome, err := New(DefaultOptions()).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,7 +105,7 @@ func TestTerminatesAtMemoryFloor(t *testing.T) {
 	// OOM revert, then stops; the search must terminate.
 	spec := testutil.ChainSpec(600_000)
 	runner := testutil.NewRunner(t, spec, true, 2)
-	outcome, err := New(Options{StepMB: 512}).Search(runner, spec.SLOMS)
+	outcome, err := New(Options{StepMB: 512}).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,12 +117,12 @@ func TestTerminatesAtMemoryFloor(t *testing.T) {
 func TestCostGuardStopsUphill(t *testing.T) {
 	spec := testutil.ChainSpec(60_000)
 	runner := testutil.NewRunner(t, spec, true, 3)
-	guarded, err := New(Options{StepMB: 64, CostIncreaseTol: 0.02}).Search(runner, spec.SLOMS)
+	guarded, err := New(Options{StepMB: 64, CostIncreaseTol: 0.02}).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}
 	runner2 := testutil.NewRunner(t, spec, true, 3)
-	unguarded, err := New(Options{StepMB: 64}).Search(runner2, spec.SLOMS)
+	unguarded, err := New(Options{StepMB: 64}).Search(context.Background(), runner2, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestCostGuardStopsUphill(t *testing.T) {
 func TestInfeasibleBaseReturnsImmediately(t *testing.T) {
 	spec := testutil.ChainSpec(1_000) // impossible SLO
 	runner := testutil.NewRunner(t, spec, true, 1)
-	outcome, err := New(DefaultOptions()).Search(runner, spec.SLOMS)
+	outcome, err := New(DefaultOptions()).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}

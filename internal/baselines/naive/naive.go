@@ -5,6 +5,7 @@
 package naive
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -12,6 +13,15 @@ import (
 	"aarc/internal/resources"
 	"aarc/internal/search"
 )
+
+func init() {
+	search.Register("random", func(seed uint64) search.Searcher {
+		return &Random{Budget: 100, Seed: seed}
+	})
+	search.Register("grid", func(seed uint64) search.Searcher {
+		return &UniformGrid{CPUPoints: 8, MemPoints: 8}
+	})
+}
 
 // Random samples the decoupled space uniformly at random for a fixed budget
 // and returns the cheapest SLO-compliant assignment seen.
@@ -24,7 +34,8 @@ type Random struct {
 func (r *Random) Name() string { return "Random" }
 
 // Search implements search.Searcher.
-func (r *Random) Search(ev search.Evaluator, sloMS float64) (search.Outcome, error) {
+func (r *Random) Search(ctx context.Context, ev search.Evaluator, opts search.Options) (search.Outcome, error) {
+	sloMS := opts.SLOMS
 	if sloMS <= 0 {
 		return search.Outcome{}, fmt.Errorf("naive: non-positive SLO %v", sloMS)
 	}
@@ -35,9 +46,10 @@ func (r *Random) Search(ev search.Evaluator, sloMS float64) (search.Outcome, err
 	rng := rand.New(rand.NewPCG(r.Seed, 0x5eed))
 	groups := ev.Functions()
 	lim := ev.Limits()
-	trace := &search.Trace{Method: "Random"}
+	trace := search.NewTrace(ctx, "Random", opts)
 
 	best := ev.Base()
+	var bestRes search.Result // zero until a feasible sample is accepted
 	bestCost := math.Inf(1)
 	for i := 0; i < budget; i++ {
 		a := make(resources.Assignment, len(groups))
@@ -49,13 +61,16 @@ func (r *Random) Search(ev search.Evaluator, sloMS float64) (search.Outcome, err
 			return search.Outcome{}, err
 		}
 		ok := !res.OOM && res.E2EMS <= sloMS && res.Cost < bestCost
-		trace.Record(a, res, ok, "random")
 		if ok {
 			bestCost = res.Cost
 			best = a.Clone()
+			bestRes = res
+		}
+		if err := trace.Record(a, res, ok, "random"); err != nil {
+			return search.Outcome{Best: best, Trace: trace, Final: bestRes}, search.StopCause(err)
 		}
 	}
-	return search.Outcome{Best: best, Trace: trace}, nil
+	return search.Outcome{Best: best, Trace: trace, Final: bestRes}, nil
 }
 
 // UniformGrid sweeps a coarsened (cpu, mem) grid, assigning the same
@@ -70,7 +85,8 @@ type UniformGrid struct {
 func (u *UniformGrid) Name() string { return "UniformGrid" }
 
 // Search implements search.Searcher.
-func (u *UniformGrid) Search(ev search.Evaluator, sloMS float64) (search.Outcome, error) {
+func (u *UniformGrid) Search(ctx context.Context, ev search.Evaluator, opts search.Options) (search.Outcome, error) {
+	sloMS := opts.SLOMS
 	if sloMS <= 0 {
 		return search.Outcome{}, fmt.Errorf("naive: non-positive SLO %v", sloMS)
 	}
@@ -84,9 +100,10 @@ func (u *UniformGrid) Search(ev search.Evaluator, sloMS float64) (search.Outcome
 	}
 	groups := ev.Functions()
 	lim := ev.Limits()
-	trace := &search.Trace{Method: "UniformGrid"}
+	trace := search.NewTrace(ctx, "UniformGrid", opts)
 
 	best := ev.Base()
+	var bestRes search.Result // zero until a feasible sample is accepted
 	bestCost := math.Inf(1)
 	for i := 0; i < cp; i++ {
 		for j := 0; j < mp; j++ {
@@ -100,14 +117,17 @@ func (u *UniformGrid) Search(ev search.Evaluator, sloMS float64) (search.Outcome
 				return search.Outcome{}, err
 			}
 			ok := !res.OOM && res.E2EMS <= sloMS && res.Cost < bestCost
-			trace.Record(a, res, ok, "grid")
 			if ok {
 				bestCost = res.Cost
 				best = a.Clone()
+				bestRes = res
+			}
+			if err := trace.Record(a, res, ok, "grid"); err != nil {
+				return search.Outcome{Best: best, Trace: trace, Final: bestRes}, search.StopCause(err)
 			}
 		}
 	}
-	return search.Outcome{Best: best, Trace: trace}, nil
+	return search.Outcome{Best: best, Trace: trace, Final: bestRes}, nil
 }
 
 var (

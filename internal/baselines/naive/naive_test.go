@@ -1,6 +1,7 @@
 package naive
 
 import (
+	"context"
 	"testing"
 
 	"aarc/internal/search"
@@ -14,7 +15,7 @@ func TestRandomSearch(t *testing.T) {
 	if r.Name() != "Random" {
 		t.Error("Name wrong")
 	}
-	outcome, err := r.Search(runner, spec.SLOMS)
+	outcome, err := r.Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func TestRandomSearch(t *testing.T) {
 	if err := search.ValidateAssignment(runner, outcome.Best); err != nil {
 		t.Fatalf("invalid result: %v", err)
 	}
-	if _, err := r.Search(runner, 0); err == nil {
+	if _, err := r.Search(context.Background(), runner, search.Options{SLOMS: 0}); err == nil {
 		t.Error("bad SLO should error")
 	}
 }
@@ -32,7 +33,7 @@ func TestRandomSearch(t *testing.T) {
 func TestRandomDefaultBudget(t *testing.T) {
 	spec := testutil.ChainSpec(60_000)
 	runner := testutil.NewRunner(t, spec, true, 2)
-	outcome, err := (&Random{Seed: 2}).Search(runner, spec.SLOMS)
+	outcome, err := (&Random{Seed: 2}).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestRandomFallsBackToBase(t *testing.T) {
 	// Impossible SLO: no random sample is feasible, so the base comes back.
 	spec := testutil.ChainSpec(60_000)
 	runner := testutil.NewRunner(t, spec, true, 3)
-	outcome, err := (&Random{Budget: 10, Seed: 3}).Search(runner, 1)
+	outcome, err := (&Random{Budget: 10, Seed: 3}).Search(context.Background(), runner, search.Options{SLOMS: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestUniformGrid(t *testing.T) {
 	if g.Name() != "UniformGrid" {
 		t.Error("Name wrong")
 	}
-	outcome, err := g.Search(runner, spec.SLOMS)
+	outcome, err := g.Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestUniformGrid(t *testing.T) {
 			}
 		}
 	}
-	if _, err := g.Search(runner, -1); err == nil {
+	if _, err := g.Search(context.Background(), runner, search.Options{SLOMS: -1}); err == nil {
 		t.Error("bad SLO should error")
 	}
 }
@@ -88,7 +89,7 @@ func TestUniformGrid(t *testing.T) {
 func TestUniformGridDefaults(t *testing.T) {
 	spec := testutil.ChainSpec(60_000)
 	runner := testutil.NewRunner(t, spec, true, 5)
-	outcome, err := (&UniformGrid{}).Search(runner, spec.SLOMS)
+	outcome, err := (&UniformGrid{}).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}

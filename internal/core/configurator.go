@@ -157,8 +157,10 @@ func (st *state) configurePath(pathNodes []string, pathSLO float64) error {
 		if violated {
 			// Lines 14–18: revert, back off, re-enqueue at priority 0 while
 			// trials remain.
-			st.trace.Record(candidate, res, false,
-				fmt.Sprintf("revert %s/%s", o.group, o.typ))
+			if err := st.trace.Record(candidate, res, false,
+				fmt.Sprintf("revert %s/%s", o.group, o.typ)); err != nil {
+				return err
+			}
 			st.backoff(o)
 			if o.trial > 0 {
 				pq.push(o, 0)
@@ -170,8 +172,10 @@ func (st *state) configurePath(pathNodes []string, pathSLO float64) error {
 		reduced := curGroupCost - newGroupCost
 		st.cur = candidate
 		st.curRes = res
-		st.trace.Record(candidate, res, true,
-			fmt.Sprintf("accept %s/%s", o.group, o.typ))
+		if err := st.trace.Record(candidate, res, true,
+			fmt.Sprintf("accept %s/%s", o.group, o.typ)); err != nil {
+			return err
+		}
 		pq.push(o, reduced)
 	}
 

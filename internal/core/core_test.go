@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -93,7 +94,7 @@ func TestOptionsNormalize(t *testing.T) {
 
 func TestSearchRejectsPlainEvaluator(t *testing.T) {
 	a := New(DefaultOptions())
-	_, err := a.Search(plainEvaluator{}, 1000)
+	_, err := a.Search(context.Background(), plainEvaluator{}, search.Options{SLOMS: 1000})
 	if err == nil || !strings.Contains(err.Error(), "DAG") {
 		t.Errorf("plain evaluator should be rejected: %v", err)
 	}
@@ -112,7 +113,7 @@ func (plainEvaluator) Base() resources.Assignment { return nil }
 func TestSearchRejectsBadSLO(t *testing.T) {
 	spec := testutil.ChainSpec(60_000)
 	runner := testutil.NewRunner(t, spec, false, 1)
-	if _, err := New(DefaultOptions()).Search(runner, 0); err == nil {
+	if _, err := New(DefaultOptions()).Search(context.Background(), runner, search.Options{SLOMS: 0}); err == nil {
 		t.Error("zero SLO should error")
 	}
 }
@@ -121,7 +122,7 @@ func TestSearchInfeasibleBase(t *testing.T) {
 	// An SLO no configuration can meet: the base config itself violates it.
 	spec := testutil.ChainSpec(1_000)
 	runner := testutil.NewRunner(t, spec, false, 1)
-	_, err := New(DefaultOptions()).Search(runner, spec.SLOMS)
+	_, err := New(DefaultOptions()).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err == nil || !strings.Contains(err.Error(), "base configuration") {
 		t.Errorf("infeasible base should be reported: %v", err)
 	}
@@ -130,7 +131,7 @@ func TestSearchInfeasibleBase(t *testing.T) {
 func TestSearchChainBasics(t *testing.T) {
 	spec := testutil.ChainSpec(60_000)
 	runner := testutil.NewRunner(t, spec, true, 7)
-	outcome, err := New(DefaultOptions()).Search(runner, spec.SLOMS)
+	outcome, err := New(DefaultOptions()).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestSearchChainBasics(t *testing.T) {
 func TestSearchDiamondSchedulesDetour(t *testing.T) {
 	spec := testutil.DiamondSpec(120_000)
 	runner := testutil.NewRunner(t, spec, true, 11)
-	outcome, err := New(DefaultOptions()).Search(runner, spec.SLOMS)
+	outcome, err := New(DefaultOptions()).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestSearchSLOComplianceAcrossSeeds(t *testing.T) {
 	for seed := uint64(1); seed <= 10; seed++ {
 		spec := testutil.ChainSpec(45_000)
 		runner := testutil.NewRunner(t, spec, true, seed)
-		outcome, err := New(DefaultOptions()).Search(runner, spec.SLOMS)
+		outcome, err := New(DefaultOptions()).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -213,7 +214,7 @@ func TestSearchRespectsMaxTrail(t *testing.T) {
 	opts := DefaultOptions()
 	opts.MaxTrail = 5
 	opts.ValidationRuns = 0 // isolate the MaxTrail bound from validation samples
-	outcome, err := New(opts).Search(runner, spec.SLOMS)
+	outcome, err := New(opts).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestCoupledOnlyAblation(t *testing.T) {
 	runner := testutil.NewRunner(t, spec, true, 5)
 	opts := DefaultOptions()
 	opts.CoupledOnly = true
-	outcome, err := New(opts).Search(runner, spec.SLOMS)
+	outcome, err := New(opts).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestNoSubpathsAblation(t *testing.T) {
 	runner := testutil.NewRunner(t, spec, true, 11)
 	opts := DefaultOptions()
 	opts.NoSubpaths = true
-	outcome, err := New(opts).Search(runner, spec.SLOMS)
+	outcome, err := New(opts).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func TestFIFOAndNoBackoffVariantsComplete(t *testing.T) {
 		runner := testutil.NewRunner(t, spec, true, 13)
 		opts := DefaultOptions()
 		mutate(&opts)
-		outcome, err := New(opts).Search(runner, spec.SLOMS)
+		outcome, err := New(opts).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -292,7 +293,7 @@ func TestTraceRuntimeTrendsUpCostTrendsDown(t *testing.T) {
 	// accepted runtime > first runtime.
 	spec := workloads.Chatbot()
 	runner := testutil.NewRunner(t, spec, true, 42)
-	outcome, err := New(DefaultOptions()).Search(runner, spec.SLOMS)
+	outcome, err := New(DefaultOptions()).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func TestTraceRuntimeTrendsUpCostTrendsDown(t *testing.T) {
 func TestChatbotScatterSharesGroupConfig(t *testing.T) {
 	spec := workloads.Chatbot()
 	runner := testutil.NewRunner(t, spec, true, 42)
-	outcome, err := New(DefaultOptions()).Search(runner, spec.SLOMS)
+	outcome, err := New(DefaultOptions()).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		t.Fatal(err)
 	}

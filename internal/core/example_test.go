@@ -1,9 +1,11 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"aarc/internal/core"
+	"aarc/internal/search"
 	"aarc/internal/workflow"
 	"aarc/internal/workloads"
 )
@@ -19,7 +21,7 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	outcome, err := core.New(core.DefaultOptions()).Search(runner, spec.SLOMS)
+	outcome, err := core.New(core.DefaultOptions()).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		panic(err)
 	}

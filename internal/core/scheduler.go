@@ -1,12 +1,19 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"aarc/internal/dag"
 	"aarc/internal/search"
 )
+
+func init() {
+	search.Register("aarc", func(seed uint64) search.Searcher {
+		return New(DefaultOptions())
+	})
+}
 
 // AARC is the paper's automated affinity-aware resource configurator. It
 // implements search.Searcher; the evaluator passed to Search must also
@@ -34,11 +41,12 @@ func (a *AARC) Name() string { return "AARC" }
 //     window between its anchors minus already-scheduled functions, and
 //     configure the remaining functions,
 //  5. return the union of all per-function configurations.
-func (a *AARC) Search(ev search.Evaluator, sloMS float64) (search.Outcome, error) {
+func (a *AARC) Search(ctx context.Context, ev search.Evaluator, opts search.Options) (search.Outcome, error) {
 	wev, ok := ev.(Evaluator)
 	if !ok {
 		return search.Outcome{}, errors.New("core: evaluator does not expose the workflow DAG (want core.Evaluator)")
 	}
+	sloMS := opts.SLOMS
 	if sloMS <= 0 {
 		return search.Outcome{}, fmt.Errorf("core: non-positive SLO %v", sloMS)
 	}
@@ -48,9 +56,20 @@ func (a *AARC) Search(ev search.Evaluator, sloMS float64) (search.Outcome, error
 		lim:       ev.Limits(),
 		opts:      a.opts,
 		cur:       ev.Base(),
-		trace:     &search.Trace{Method: "AARC"},
+		trace:     search.NewTrace(ctx, "AARC", opts),
 		scheduled: make(map[string]bool),
 		e2eSLO:    sloMS,
+	}
+	// halt maps an error bubbling out of the algorithm to Search's return:
+	// trace-enforcement halts (budget / cancellation) yield the partial
+	// outcome — st.cur and st.curRes always describe the last accepted
+	// configuration — while genuine evaluation failures keep the
+	// zero-Outcome behavior.
+	halt := func(err error) (search.Outcome, error) {
+		if search.Halted(err) {
+			return search.Outcome{Best: st.cur, Trace: st.trace, Final: st.curRes}, search.StopCause(err)
+		}
+		return search.Outcome{}, err
 	}
 
 	// Lines 2–5: base configuration, profiling execution.
@@ -62,9 +81,11 @@ func (a *AARC) Search(ev search.Evaluator, sloMS float64) (search.Outcome, error
 		return search.Outcome{}, fmt.Errorf("core: base configuration OOMs at node %q; raise the base config", res.Fail)
 	}
 	st.curRes = res
-	st.trace.Record(st.cur, res, true, "init")
+	if err := st.trace.Record(st.cur, res, true, "init"); err != nil {
+		return halt(err)
+	}
 	if res.E2EMS > st.effSLO(sloMS) {
-		return search.Outcome{Best: st.cur, Trace: st.trace},
+		return search.Outcome{Best: st.cur, Trace: st.trace, Final: st.curRes},
 			fmt.Errorf("core: base configuration misses the SLO (%.0f ms > %.0f ms); the workflow cannot be configured", res.E2EMS, sloMS)
 	}
 
@@ -78,7 +99,7 @@ func (a *AARC) Search(ev search.Evaluator, sloMS float64) (search.Outcome, error
 
 	// Lines 7–9: configure the critical path against the full SLO.
 	if err := st.configurePath(critical, sloMS); err != nil {
-		return search.Outcome{}, err
+		return halt(err)
 	}
 
 	// Lines 10–21: configure detour sub-paths against their windows.
@@ -89,7 +110,7 @@ func (a *AARC) Search(ev search.Evaluator, sloMS float64) (search.Outcome, error
 		}
 		for _, sp := range subpaths {
 			if err := a.scheduleSubpath(st, critical, sp); err != nil {
-				return search.Outcome{}, err
+				return halt(err)
 			}
 		}
 	}
@@ -100,11 +121,11 @@ func (a *AARC) Search(ev search.Evaluator, sloMS float64) (search.Outcome, error
 	// AARC's configurations are reliably SLO-compliant.
 	if a.opts.ValidationRuns > 0 {
 		if err := a.validateAndRepair(st); err != nil {
-			return search.Outcome{}, err
+			return halt(err)
 		}
 	}
 
-	return search.Outcome{Best: st.cur, Trace: st.trace}, nil
+	return search.Outcome{Best: st.cur, Trace: st.trace, Final: st.curRes}, nil
 }
 
 // validateAndRepair re-executes the final assignment ValidationRuns times;
@@ -121,12 +142,14 @@ func (a *AARC) validateAndRepair(st *state) error {
 			if err != nil {
 				return err
 			}
-			st.trace.Record(st.cur, res, true, "validate")
 			mean += res.E2EMS
 			last = res
+			st.curRes = last
+			if err := st.trace.Record(st.cur, res, true, "validate"); err != nil {
+				return err
+			}
 		}
 		mean /= float64(a.opts.ValidationRuns)
-		st.curRes = last
 		if mean <= st.e2eSLO && !last.OOM {
 			return nil
 		}

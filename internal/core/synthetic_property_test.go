@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"aarc/internal/search"
@@ -34,7 +35,7 @@ func TestSearchPropertyOnSyntheticWorkflows(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			outcome, err := New(DefaultOptions()).Search(runner, spec.SLOMS)
+			outcome, err := New(DefaultOptions()).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 			if err != nil {
 				t.Fatalf("%s: %v", spec.Name, err)
 			}

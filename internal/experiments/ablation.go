@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"aarc/internal/core"
+	"aarc/internal/search"
 	"aarc/internal/workloads"
 )
 
@@ -76,7 +78,7 @@ func RunAblationPool(seed uint64, pool *Pool) (AblationResult, error) {
 		if err != nil {
 			return err
 		}
-		outcome, err := core.New(v.Opts).Search(runner, spec.SLOMS)
+		outcome, err := core.New(v.Opts).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 		if err != nil {
 			return fmt.Errorf("ablation %s/%s: %w", w, v.Name, err)
 		}

@@ -6,15 +6,21 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 	"sync"
 
-	"aarc/internal/baselines/bo"
-	"aarc/internal/baselines/maff"
-	"aarc/internal/core"
+	// The searcher packages self-register with the search registry; import
+	// them all so every method is resolvable by name regardless of which
+	// experiments are compiled in.
+	_ "aarc/internal/baselines/bo"
+	_ "aarc/internal/baselines/maff"
+	_ "aarc/internal/baselines/naive"
+	_ "aarc/internal/core"
+
 	"aarc/internal/search"
 	"aarc/internal/workflow"
 	"aarc/internal/workloads"
@@ -26,21 +32,14 @@ const HostCores = 96
 // MethodNames lists the three compared methods in presentation order.
 var MethodNames = []string{"AARC", "BO", "MAFF"}
 
-// NewSearcher constructs one of the three paper methods by name, seeded for
-// reproducibility.
+// NewSearcher resolves one of the registered methods by (case-insensitive)
+// name through the search registry, seeded for reproducibility.
 func NewSearcher(name string, seed uint64) (search.Searcher, error) {
-	switch name {
-	case "AARC":
-		return core.New(core.DefaultOptions()), nil
-	case "BO":
-		opts := bo.DefaultOptions()
-		opts.Seed = seed
-		return bo.New(opts), nil
-	case "MAFF":
-		return maff.New(maff.DefaultOptions()), nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown method %q", name)
+	s, err := search.New(name, seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
+	return s, nil
 }
 
 // NewRunner builds the standard evaluation runner for a workload spec:
@@ -122,7 +121,7 @@ func runCell(workloadName, method string, seed uint64) (SearchRun, error) {
 	if err != nil {
 		return SearchRun{}, err
 	}
-	outcome, err := searcher.Search(runner, spec.SLOMS)
+	outcome, err := searcher.Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		return SearchRun{}, fmt.Errorf("experiments: %s/%s: %w", workloadName, method, err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -37,7 +38,7 @@ func RunFig3(seed uint64) (Fig3Result, error) {
 	}
 	opts := bo.DefaultOptions()
 	opts.Seed = seed
-	outcome, err := bo.New(opts).Search(runner, spec.SLOMS)
+	outcome, err := bo.New(opts).Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 	if err != nil {
 		return Fig3Result{}, err
 	}

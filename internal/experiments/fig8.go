@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"aarc/internal/inputaware"
 	"aarc/internal/resources"
+	"aarc/internal/search"
 	"aarc/internal/stats"
 	"aarc/internal/workflow"
 	"aarc/internal/workloads"
@@ -43,7 +45,7 @@ func RunFig8(seed uint64) (Fig8Result, error) {
 	if err != nil {
 		return Fig8Result{}, err
 	}
-	engine, err := inputaware.Configure(spec, runnerOpts, aarc, classes)
+	engine, err := inputaware.Configure(context.Background(), spec, runnerOpts, aarc, search.Options{SLOMS: spec.SLOMS}, classes)
 	if err != nil {
 		return Fig8Result{}, err
 	}
@@ -59,7 +61,7 @@ func RunFig8(seed uint64) (Fig8Result, error) {
 		if err != nil {
 			return Fig8Result{}, err
 		}
-		outcome, err := searcher.Search(runner, spec.SLOMS)
+		outcome, err := searcher.Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 		if err != nil {
 			return Fig8Result{}, err
 		}

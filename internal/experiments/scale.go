@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"aarc/internal/search"
 	"aarc/internal/workflow"
 	"aarc/internal/workloads"
 )
@@ -59,7 +61,7 @@ func RunScale(seed uint64) (ScaleResult, error) {
 			if err != nil {
 				return ScaleResult{}, err
 			}
-			outcome, err := searcher.Search(runner, spec.SLOMS)
+			outcome, err := searcher.Search(context.Background(), runner, search.Options{SLOMS: spec.SLOMS})
 			if err != nil {
 				return ScaleResult{}, fmt.Errorf("scale %s/%s: %w", spec.Name, m, err)
 			}

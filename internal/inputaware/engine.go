@@ -7,6 +7,7 @@
 package inputaware
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -52,9 +53,16 @@ type Engine struct {
 // runner's spec must be input-sensitive for per-class configs to differ.
 // Configure consumes simulated time: the per-class search traces are
 // retained for accounting.
-func Configure(spec *workflow.Spec, opts workflow.RunnerOptions, searcher search.Searcher, classes []Class) (*Engine, error) {
+//
+// The context and search options apply to every per-class search
+// (sopts.SLOMS defaults to the spec's SLO when zero); cancelling ctx aborts
+// the remaining classes and returns ctx.Err().
+func Configure(ctx context.Context, spec *workflow.Spec, opts workflow.RunnerOptions, searcher search.Searcher, sopts search.Options, classes []Class) (*Engine, error) {
 	if len(classes) == 0 {
 		return nil, errors.New("inputaware: need at least one input class")
+	}
+	if sopts.SLOMS <= 0 {
+		sopts.SLOMS = spec.SLOMS
 	}
 	e := &Engine{
 		classes: append([]Class(nil), classes...),
@@ -73,7 +81,7 @@ func Configure(spec *workflow.Spec, opts workflow.RunnerOptions, searcher search
 		if err != nil {
 			return nil, err
 		}
-		outcome, err := searcher.Search(runner, spec.SLOMS)
+		outcome, err := searcher.Search(ctx, runner, sopts)
 		if err != nil {
 			return nil, fmt.Errorf("inputaware: configuring class %q: %w", cls.Name, err)
 		}

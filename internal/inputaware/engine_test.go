@@ -1,9 +1,11 @@
 package inputaware
 
 import (
+	"context"
 	"testing"
 
 	"aarc/internal/core"
+	"aarc/internal/search"
 	"aarc/internal/testutil"
 	"aarc/internal/workflow"
 )
@@ -26,9 +28,10 @@ func quickClasses() []Class {
 func configuredEngine(t *testing.T) *Engine {
 	t.Helper()
 	spec := sensitizedChain(120_000)
-	e, err := Configure(spec,
+	e, err := Configure(context.Background(), spec,
 		workflow.RunnerOptions{HostCores: 96, Noise: true, Seed: 5},
 		core.New(core.DefaultOptions()),
+		search.Options{SLOMS: spec.SLOMS},
 		quickClasses())
 	if err != nil {
 		t.Fatal(err)
@@ -39,11 +42,11 @@ func configuredEngine(t *testing.T) *Engine {
 func TestConfigureErrors(t *testing.T) {
 	spec := sensitizedChain(120_000)
 	opts := workflow.RunnerOptions{HostCores: 96, Seed: 1}
-	if _, err := Configure(spec, opts, core.New(core.DefaultOptions()), nil); err == nil {
+	if _, err := Configure(context.Background(), spec, opts, core.New(core.DefaultOptions()), search.Options{}, nil); err == nil {
 		t.Error("no classes should error")
 	}
 	bad := []Class{{Name: "zero", Scale: 0}}
-	if _, err := Configure(spec, opts, core.New(core.DefaultOptions()), bad); err == nil {
+	if _, err := Configure(context.Background(), spec, opts, core.New(core.DefaultOptions()), search.Options{}, bad); err == nil {
 		t.Error("non-positive scale should error")
 	}
 }
@@ -119,9 +122,10 @@ func TestDispatch(t *testing.T) {
 // inputs within SLO, and the light-class configuration is cheaper.
 func TestPerClassConfigsAreUseful(t *testing.T) {
 	spec := sensitizedChain(120_000)
-	e, err := Configure(spec,
+	e, err := Configure(context.Background(), spec,
 		workflow.RunnerOptions{HostCores: 96, Noise: true, Seed: 5},
 		core.New(core.DefaultOptions()),
+		search.Options{SLOMS: spec.SLOMS},
 		quickClasses())
 	if err != nil {
 		t.Fatal(err)

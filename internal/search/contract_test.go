@@ -1,0 +1,190 @@
+// Contract tests over every registered searcher: all methods must honor
+// context cancellation and the sample / simulated-time budgets uniformly,
+// because enforcement is centralized in Trace.Record.
+package search_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"aarc/internal/search"
+	"aarc/internal/testutil"
+	"aarc/internal/workflow"
+
+	// Self-registration of every built-in method.
+	_ "aarc/internal/baselines/bo"
+	_ "aarc/internal/baselines/maff"
+	_ "aarc/internal/baselines/naive"
+	_ "aarc/internal/core"
+)
+
+// newRunner builds a fresh fast evaluator per case: searchers consume the
+// runner's RNG stream, so cases must not share one.
+func newRunner(t *testing.T, spec *workflow.Spec) *workflow.Runner {
+	t.Helper()
+	return testutil.NewRunner(t, spec, true, 1)
+}
+
+func TestRegistryHasAllBuiltins(t *testing.T) {
+	got := make(map[string]bool)
+	for _, m := range search.Methods() {
+		got[m] = true
+	}
+	for _, want := range []string{"aarc", "bo", "maff", "random", "grid"} {
+		if !got[want] {
+			t.Errorf("registry missing %q: %v", want, search.Methods())
+		}
+	}
+}
+
+func TestSearchersHonorPreCancelledContext(t *testing.T) {
+	spec := testutil.ChainSpec(60_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, m := range search.Methods() {
+		t.Run(m, func(t *testing.T) {
+			s, err := search.New(m, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := s.Search(ctx, newRunner(t, spec), search.Options{SLOMS: spec.SLOMS})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if out.Trace == nil {
+				t.Fatal("cancelled search must still return its partial trace")
+			}
+			// Record is the enforcement point: the pre-cancelled context is
+			// seen at the first recorded sample, so at most one probe ran.
+			if out.Trace.Len() > 1 {
+				t.Errorf("pre-cancelled context recorded %d samples, want at most 1", out.Trace.Len())
+			}
+			if out.Best == nil {
+				t.Error("cancelled search must still return a best-so-far assignment")
+			}
+			if err := search.ValidateAssignment(newRunner(t, spec), out.Best); err != nil {
+				t.Errorf("partial Best invalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestSearchersHonorMaxSamples(t *testing.T) {
+	spec := testutil.ChainSpec(60_000)
+	for _, m := range search.Methods() {
+		for _, maxN := range []int{1, 3, 7} {
+			t.Run(m, func(t *testing.T) {
+				s, err := search.New(m, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, err := s.Search(context.Background(), newRunner(t, spec),
+					search.Options{SLOMS: spec.SLOMS, MaxSamples: maxN})
+				if err != nil {
+					t.Fatalf("budget exhaustion is a normal stop, got error %v", err)
+				}
+				// Every built-in method probes more than 7 samples on this
+				// workload when unbounded, so the budget must bind exactly.
+				if out.Trace.Len() != maxN {
+					t.Errorf("MaxSamples=%d recorded %d samples", maxN, out.Trace.Len())
+				}
+				for i, smp := range out.Trace.Samples {
+					if smp.Index != i {
+						t.Errorf("sample %d has index %d", i, smp.Index)
+					}
+					if len(smp.Assignment) == 0 {
+						t.Errorf("sample %d has empty assignment", i)
+					}
+				}
+				if out.Best == nil {
+					t.Error("budget-stopped search must return a best-so-far assignment")
+				}
+			})
+		}
+	}
+}
+
+func TestSearchersHonorSimCostBudget(t *testing.T) {
+	spec := testutil.ChainSpec(60_000)
+	for _, m := range search.Methods() {
+		t.Run(m, func(t *testing.T) {
+			s, err := search.New(m, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 1 ms of simulated time: the first sample consumes the budget.
+			out, err := s.Search(context.Background(), newRunner(t, spec),
+				search.Options{SLOMS: spec.SLOMS, MaxSimCostMS: 1})
+			if err != nil {
+				t.Fatalf("budget exhaustion is a normal stop, got error %v", err)
+			}
+			if out.Trace.Len() != 1 {
+				t.Errorf("1 ms budget recorded %d samples, want 1", out.Trace.Len())
+			}
+		})
+	}
+}
+
+func TestProgressSeesEverySample(t *testing.T) {
+	spec := testutil.ChainSpec(60_000)
+	for _, m := range search.Methods() {
+		t.Run(m, func(t *testing.T) {
+			s, err := search.New(m, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var seen []search.Sample
+			out, err := s.Search(context.Background(), newRunner(t, spec), search.Options{
+				SLOMS:      spec.SLOMS,
+				MaxSamples: 5,
+				Progress:   func(smp search.Sample) { seen = append(seen, smp) },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seen) != out.Trace.Len() {
+				t.Fatalf("progress saw %d samples, trace has %d", len(seen), out.Trace.Len())
+			}
+			for i, smp := range seen {
+				if smp.Index != out.Trace.Samples[i].Index || smp.E2EMS != out.Trace.Samples[i].E2EMS {
+					t.Errorf("progress sample %d diverges from trace", i)
+				}
+			}
+		})
+	}
+}
+
+// TestOutcomeFinalMatchesBest pins the satellite contract: Final is a real
+// measurement of the returned assignment, so callers need not re-evaluate.
+func TestOutcomeFinalMatchesBest(t *testing.T) {
+	spec := testutil.ChainSpec(60_000)
+	for _, m := range search.Methods() {
+		t.Run(m, func(t *testing.T) {
+			s, err := search.New(m, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := s.Search(context.Background(), newRunner(t, spec),
+				search.Options{SLOMS: spec.SLOMS})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Final.E2EMS <= 0 || len(out.Final.Nodes) == 0 {
+				t.Fatalf("Final not populated: %+v", out.Final)
+			}
+			// The measurement must appear in the trace for the returned
+			// assignment (same E2E and cost as some sample of Best).
+			found := false
+			for _, smp := range out.Trace.Samples {
+				if smp.Assignment.Equal(out.Best) && smp.E2EMS == out.Final.E2EMS && smp.Cost == out.Final.Cost {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("Final (e2e %.1f, cost %.1f) not traceable to a recorded sample of Best", out.Final.E2EMS, out.Final.Cost)
+			}
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Factory constructs a fresh Searcher for one search run. The seed drives
+// any stochastic component of the method (BO's initial design and candidate
+// sampling, random search); deterministic methods ignore it.
+type Factory func(seed uint64) Searcher
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register adds a searcher factory under a case-insensitive name. Method
+// packages self-register from init, so importing a package (directly or
+// blank) is what makes its methods resolvable. Register panics on a
+// duplicate or empty name: both are programmer errors.
+func Register(name string, f Factory) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if key == "" {
+		panic("search: Register with empty method name")
+	}
+	if f == nil {
+		panic(fmt.Sprintf("search: Register(%q) with nil factory", name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[key]; dup {
+		panic(fmt.Sprintf("search: Register called twice for method %q", key))
+	}
+	registry[key] = f
+}
+
+// New resolves a registered method by name (case-insensitive) and builds a
+// searcher with the given seed. The error lists the registered methods, so
+// CLIs can surface it verbatim.
+func New(name string, seed uint64) (Searcher, error) {
+	registryMu.RLock()
+	f, ok := registry[strings.ToLower(strings.TrimSpace(name))]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("search: unknown method %q (registered: %s)",
+			name, strings.Join(Methods(), ", "))
+	}
+	return f(seed), nil
+}
+
+// Methods returns the registered method names, sorted.
+func Methods() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,11 +1,28 @@
 // Package search defines the abstractions shared by AARC and the baseline
 // configuration searchers: the Evaluator that executes a workflow under a
 // candidate assignment, the per-sample Trace that every experiment figure is
-// derived from, and the Searcher interface all methods implement.
+// derived from, the Searcher interface all methods implement, and the
+// registry through which methods are resolved by name.
+//
+// # Search contract
+//
+// A Searcher runs under a context.Context and an Options value carrying the
+// latency SLO, optional sample/simulated-time budgets, and an optional
+// per-sample Progress callback. Enforcement is centralized in Trace.Record:
+// every searcher records each probe through it, and Record reports — after
+// appending the sample and firing Progress — whether the search must halt
+// (context cancelled, or a budget consumed). Searchers that receive a halt
+// from Record stop immediately and return their best-so-far Outcome with
+// the partial trace: a nil error when a budget was consumed (a normal stop),
+// or ctx.Err() when the context was cancelled. A trace can therefore never
+// exceed Options.MaxSamples, and never starts a new probe once
+// Options.MaxSimCostMS simulated milliseconds have been spent.
 package search
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -105,6 +122,56 @@ type Evaluator interface {
 	Base() resources.Assignment
 }
 
+// Options bounds and observes one search. The zero value of every field but
+// SLOMS means "unlimited / none": no sample budget, no simulated-time
+// budget, no progress callback.
+type Options struct {
+	// SLOMS is the end-to-end latency SLO in milliseconds. Required: every
+	// searcher rejects a non-positive SLO.
+	SLOMS float64
+	// MaxSamples caps the number of recorded samples. The search halts as
+	// soon as the trace holds MaxSamples samples; a trace never exceeds it.
+	// Zero means unlimited.
+	MaxSamples int
+	// MaxSimCostMS caps the total simulated wall time spent sampling
+	// (Trace.TotalRuntimeMS). The sample that crosses the budget is kept —
+	// its cost was already paid — but no further probe starts. Zero means
+	// unlimited.
+	MaxSimCostMS float64
+	// Progress, when non-nil, is invoked synchronously from Trace.Record
+	// with every sample as it is recorded (before budget/cancellation
+	// checks). It must not retain the sample's Assignment map beyond the
+	// call if the caller mutates assignments, and it must be fast: it runs
+	// on the search's hot path.
+	Progress func(Sample)
+}
+
+// ErrBudgetExhausted is the sentinel wrapped by Trace.Record when a sample
+// or simulated-time budget is consumed. Searchers translate it into a normal
+// (nil-error) stop via StopCause.
+var ErrBudgetExhausted = errors.New("search: budget exhausted")
+
+// Halted reports whether err is a Trace.Record enforcement signal — budget
+// exhaustion or context cancellation — as opposed to a broken evaluation.
+// Searchers use it to distinguish "stop and return the partial outcome"
+// from a genuine failure.
+func Halted(err error) bool {
+	return errors.Is(err, ErrBudgetExhausted) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// StopCause maps a Trace.Record enforcement error to the error a Searcher
+// returns alongside its partial Outcome: nil for budget exhaustion (a normal
+// stop), the context's error when the context was cancelled, and err itself
+// otherwise.
+func StopCause(err error) error {
+	if errors.Is(err, ErrBudgetExhausted) {
+		return nil
+	}
+	return err
+}
+
 // Sample is one probe of the configuration space.
 type Sample struct {
 	Index      int
@@ -118,16 +185,37 @@ type Sample struct {
 
 // Trace is the ordered record of all samples a search performed. Figures 3,
 // 5, 6 and 7 are all derived from traces.
+//
+// A Trace built by NewTrace is additionally the search's single enforcement
+// point: Record checks the bound context and budgets and tells the searcher
+// when to halt. A zero-value Trace still records but never halts.
 type Trace struct {
 	Method   string
 	Workload string
 	Samples  []Sample
+
+	ctx   context.Context // nil: never cancelled
+	opts  Options         // zero: no budgets, no progress
+	simMS float64         // running TotalRuntimeMS, to keep Record O(1)
 }
 
-// Record appends a sample, assigning its index. The assignment is cloned so
-// later mutation by the searcher cannot corrupt the trace.
-func (t *Trace) Record(a resources.Assignment, r Result, accepted bool, note string) {
-	t.Samples = append(t.Samples, Sample{
+// NewTrace returns a trace bound to the search's context and options, ready
+// to enforce them on every Record call.
+func NewTrace(ctx context.Context, method string, opts Options) *Trace {
+	return &Trace{Method: method, ctx: ctx, opts: opts}
+}
+
+// Record appends a sample, assigning its index, fires the Progress callback,
+// and then enforces the bound context and budgets. The assignment is cloned
+// so later mutation by the searcher cannot corrupt the trace.
+//
+// A non-nil return is the halt signal: ctx.Err() when the bound context is
+// done, or an error wrapping ErrBudgetExhausted when the sample or
+// simulated-time budget is consumed. The sample that triggered the halt is
+// already part of the trace; the searcher must stop probing and return its
+// best-so-far outcome with StopCause(err).
+func (t *Trace) Record(a resources.Assignment, r Result, accepted bool, note string) error {
+	s := Sample{
 		Index:      len(t.Samples),
 		Assignment: a.Clone(),
 		E2EMS:      r.E2EMS,
@@ -135,7 +223,24 @@ func (t *Trace) Record(a resources.Assignment, r Result, accepted bool, note str
 		OOM:        r.OOM,
 		Accepted:   accepted,
 		Note:       note,
-	})
+	}
+	t.Samples = append(t.Samples, s)
+	t.simMS += r.E2EMS
+	if t.opts.Progress != nil {
+		t.opts.Progress(s)
+	}
+	if t.ctx != nil {
+		if err := t.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if t.opts.MaxSamples > 0 && len(t.Samples) >= t.opts.MaxSamples {
+		return fmt.Errorf("%w: sample budget %d consumed", ErrBudgetExhausted, t.opts.MaxSamples)
+	}
+	if t.opts.MaxSimCostMS > 0 && t.simMS >= t.opts.MaxSimCostMS {
+		return fmt.Errorf("%w: simulated-time budget %.0f ms consumed", ErrBudgetExhausted, t.opts.MaxSimCostMS)
+	}
+	return nil
 }
 
 // Len returns the number of samples (the paper's "sample count").
@@ -206,16 +311,27 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 type Outcome struct {
 	Best  resources.Assignment
 	Trace *Trace
+	// Final is the last measurement of Best the searcher observed, so
+	// callers can report validated numbers without re-running Evaluate
+	// (which would perturb the evaluator's RNG stream). It is the zero
+	// Result only when the searcher never measured the assignment it
+	// returned (possible for the naive baselines falling back to the base
+	// configuration after finding no feasible sample).
+	Final Result
 }
 
 // Searcher is a resource-configuration search method (AARC, BO, MAFF, ...).
 type Searcher interface {
 	// Name identifies the method in tables and figures ("AARC", "BO", "MAFF").
 	Name() string
-	// Search explores configurations of ev's workflow subject to the
-	// end-to-end latency SLO (milliseconds) and returns the chosen
-	// assignment plus the full sampling trace.
-	Search(ev Evaluator, sloMS float64) (Outcome, error)
+	// Search explores configurations of ev's workflow subject to
+	// opts.SLOMS and the opts budgets, recording every probe through a
+	// context-bound Trace. It returns the chosen assignment, the sampling
+	// trace, and the last measurement of that assignment. When ctx is
+	// cancelled mid-search the partial outcome is returned together with
+	// ctx.Err(); when a budget runs out the partial outcome is returned
+	// with a nil error.
+	Search(ctx context.Context, ev Evaluator, opts Options) (Outcome, error)
 }
 
 // ValidateAssignment checks that a configures exactly the evaluator's

@@ -4,11 +4,23 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 
 	"aarc/internal/dag"
 	"aarc/internal/perfmodel"
 	"aarc/internal/resources"
 )
+
+// LoadSpec reads a JSON workflow definition from a file (see DecodeSpec for
+// the format).
+func LoadSpec(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeSpec(f)
+}
 
 // specJSON is the on-disk workflow definition format accepted by
 // DecodeSpec: the shape a developer submits to the platform (step ❶ of

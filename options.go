@@ -1,0 +1,94 @@
+package aarc
+
+import "time"
+
+// settings collects everything the functional options tune. The defaults
+// mirror the paper's experimental setup: the AARC method on a 96-core
+// testbed with measurement noise on and the canonical seed.
+type settings struct {
+	method     string
+	sloMS      float64 // 0: use the spec's SLO
+	maxSamples int
+	maxSimMS   float64
+	progress   func(Sample)
+	seed       uint64
+	hostCores  float64
+	noise      bool
+	inputScale float64 // 0: scale 1.0
+}
+
+func defaultSettings() settings {
+	return settings{
+		method:    "aarc",
+		seed:      42,
+		hostCores: 96,
+		noise:     true,
+	}
+}
+
+// An Option tunes Configure, ConfigureClasses or NewRunner.
+type Option func(*settings)
+
+// WithMethod selects the search method by registered name ("aarc", "bo",
+// "maff", "random", "grid", or anything added via the search registry).
+// Default: "aarc".
+func WithMethod(name string) Option {
+	return func(s *settings) { s.method = name }
+}
+
+// WithSLO overrides the workflow's end-to-end latency SLO. The zero value
+// keeps the spec's own SLO.
+func WithSLO(d time.Duration) Option {
+	return func(s *settings) { s.sloMS = float64(d) / float64(time.Millisecond) }
+}
+
+// Budget bounds a search. Zero fields are unlimited.
+type Budget struct {
+	// MaxSamples caps the number of configuration probes; the sampling
+	// trace never exceeds it.
+	MaxSamples int
+	// MaxSimCost caps the total simulated wall time spent sampling. The
+	// probe that crosses the budget is kept; no further probe starts.
+	MaxSimCost time.Duration
+}
+
+// WithBudget bounds the search by sample count and/or simulated time spent
+// sampling. A search that exhausts its budget stops normally and returns
+// the best configuration found so far.
+func WithBudget(b Budget) Option {
+	return func(s *settings) {
+		s.maxSamples = b.MaxSamples
+		s.maxSimMS = float64(b.MaxSimCost) / float64(time.Millisecond)
+	}
+}
+
+// WithProgress registers a callback invoked synchronously with every sample
+// as the search records it. It runs on the search's hot path: keep it fast.
+func WithProgress(fn func(Sample)) Option {
+	return func(s *settings) { s.progress = fn }
+}
+
+// WithSeed sets the deterministic seed shared by the simulator and the
+// searcher. Default: 42, the seed used throughout the paper reproduction.
+func WithSeed(seed uint64) Option {
+	return func(s *settings) { s.seed = seed }
+}
+
+// WithHostCores sets the host CPU capacity shared by concurrently running
+// containers (default 96, the paper's testbed). Zero disables contention.
+func WithHostCores(cores float64) Option {
+	return func(s *settings) { s.hostCores = cores }
+}
+
+// WithNoise toggles the profiles' multiplicative measurement noise
+// (default on, as in every paper experiment).
+func WithNoise(enabled bool) Option {
+	return func(s *settings) { s.noise = enabled }
+}
+
+// WithInputScale sets the default input scale of the runner (default 1.0).
+// Per-request scales are available through Runner.EvaluateScale and the
+// input-aware engine.
+func WithInputScale(scale float64) Option {
+	return func(s *settings) { s.inputScale = scale }
+}
