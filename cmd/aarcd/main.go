@@ -1,0 +1,95 @@
+// Command aarcd is the long-lived configuration service: an HTTP daemon
+// over the serving layer (internal/service) that answers configuration
+// searches from a fingerprint-keyed recommendation cache and dispatches
+// input-aware requests to pre-searched per-class configurations (§IV-D).
+//
+// Usage:
+//
+//	aarcd                              # listen on :8080 with defaults
+//	aarcd -addr :9090 -max-samples 200 # cap server-side search work
+//
+// Endpoints (see DESIGN.md §"Serving layer" and the README for curl
+// examples):
+//
+//	GET  /healthz       liveness + cache stats
+//	GET  /v1/methods    the search method registry
+//	POST /v1/configure  {"workload":"chatbot"} or {"spec":{...}} -> recommendation
+//	POST /v1/dispatch   {"workload":"video-analysis","scale":1.4} -> class + config
+//	POST /v1/evaluate   {"fingerprint":"sha256:...","runs":10} -> what-if runs
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"aarc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aarcd: ")
+
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		method     = flag.String("method", "aarc", "default search method (see /v1/methods)")
+		seed       = flag.Uint64("seed", 42, "default simulator+searcher seed")
+		hostCores  = flag.Float64("cores", 96, "host CPU capacity shared by concurrent containers")
+		noNoise    = flag.Bool("no-noise", false, "disable the simulator's measurement noise")
+		cacheSize  = flag.Int("cache-size", 128, "max cached recommendations/engines (LRU)")
+		shards     = flag.Int("shards", 0, "runners per entry's evaluation pool (0 = GOMAXPROCS)")
+		maxSamples = flag.Int("max-samples", 0, "server-side per-search sample cap (0 = unlimited)")
+		maxSimMS   = flag.Float64("max-sim-cost-ms", 0, "server-side simulated-time cap per search (0 = unlimited)")
+	)
+	flag.Parse()
+
+	svc := aarc.NewService(
+		aarc.WithMethod(*method),
+		aarc.WithSeed(*seed),
+		aarc.WithHostCores(*hostCores),
+		aarc.WithNoise(!*noNoise),
+		aarc.WithCacheSize(*cacheSize),
+		aarc.WithShards(*shards),
+		aarc.WithBudget(aarc.Budget{
+			MaxSamples: *maxSamples,
+			// Scale before converting: time.Duration(*maxSimMS) would
+			// truncate fractional milliseconds to zero ( = unlimited).
+			MaxSimCost: time.Duration(*maxSimMS * float64(time.Millisecond)),
+		}),
+	)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           aarc.NewServiceHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	shardsDesc := "GOMAXPROCS"
+	if *shards > 0 {
+		shardsDesc = strconv.Itoa(*shards)
+	}
+	log.Printf("serving on %s (method=%s cache=%d shards=%s)", *addr, *method, *cacheSize, shardsDesc)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Fatal(err)
+		}
+	}
+}

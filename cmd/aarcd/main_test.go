@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"aarc"
+)
+
+// TestDaemonSurface drives the exact service the daemon serves — built
+// through the public facade with a server-side budget, as main() does —
+// end to end over HTTP.
+func TestDaemonSurface(t *testing.T) {
+	svc := aarc.NewService(
+		aarc.WithMethod("aarc"),
+		aarc.WithSeed(42),
+		aarc.WithHostCores(96),
+		aarc.WithCacheSize(16),
+		aarc.WithBudget(aarc.Budget{MaxSamples: 30}),
+	)
+	ts := httptest.NewServer(aarc.NewServiceHandler(svc))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" {
+		t.Fatalf("healthz status = %q", health.Status)
+	}
+
+	body := `{"workload": "chatbot"}`
+	var first []byte
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/v1/configure", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("configure %d: status %d: %s", i, resp.StatusCode, b)
+		}
+		wantHeader := []string{"miss", "hit"}[i]
+		if got := resp.Header.Get("X-Aarc-Cache"); got != wantHeader {
+			t.Errorf("configure %d: cache header %q, want %q", i, got, wantHeader)
+		}
+		var rec struct {
+			Method     string                     `json:"method"`
+			Samples    int                        `json:"samples"`
+			Assignment map[string]json.RawMessage `json:"assignment"`
+		}
+		if err := json.Unmarshal(b, &rec); err != nil {
+			t.Fatalf("configure %d: invalid JSON: %v\n%s", i, err, b)
+		}
+		if rec.Method != "AARC" || rec.Samples == 0 || rec.Samples > 30 || len(rec.Assignment) == 0 {
+			t.Errorf("configure %d: unexpected recommendation %+v", i, rec)
+		}
+		if i == 0 {
+			first = b
+		} else if string(first) != string(b) {
+			t.Error("cache hit body differs from miss body")
+		}
+	}
+}

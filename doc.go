@@ -30,6 +30,14 @@
 // Recommendation.Validate, evaluates assignments directly for serving and
 // what-if flows.
 //
+// For long-lived serving, NewService builds the caching layer behind the
+// aarcd daemon: Configure and Dispatch requests are answered from a
+// bounded LRU keyed by content-addressed fingerprints (SpecFingerprint),
+// concurrent requests for the same workload share one search, and
+// Validate/Evaluate run on a sharded runner pool. NewServiceHandler
+// mounts the same HTTP API cmd/aarcd serves (/v1/configure, /v1/dispatch,
+// /v1/evaluate, /v1/methods, /healthz).
+//
 // Start with the examples, which use only this public API:
 //
 //	go run ./examples/quickstart
@@ -37,9 +45,13 @@
 //	go run ./examples/inputaware
 //	go run ./examples/customworkflow
 //
-// and the experiment harness:
+// the experiment harness:
 //
 //	go run ./cmd/aarcbench all
+//
+// and the serving daemon:
+//
+//	go run ./cmd/aarcd -addr :8080
 //
 // Under internal/, internal/core is the paper's contribution (Graph-Centric
 // Scheduler + Priority Configurator) and internal/search defines the

@@ -187,3 +187,61 @@ func TestNewRunnerEvaluatesSpec(t *testing.T) {
 		t.Errorf("implausible result: e2e %v, %d nodes", res.E2EMS, len(res.Nodes))
 	}
 }
+
+func TestSpecFingerprintThroughFacade(t *testing.T) {
+	a, err := aarc.Workload("chatbot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := aarc.Workload("chatbot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpA, err := aarc.SpecFingerprint(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpB, err := aarc.SpecFingerprint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpA != fpB {
+		t.Errorf("two loads of the same workload fingerprint differently: %s vs %s", fpA, fpB)
+	}
+	other, err := aarc.Workload("ml-pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpO, err := aarc.SpecFingerprint(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpO == fpA {
+		t.Error("distinct workloads share a fingerprint")
+	}
+}
+
+func TestNewServiceCachesAcrossCalls(t *testing.T) {
+	svc := aarc.NewService(aarc.WithBudget(aarc.Budget{MaxSamples: 20}))
+	spec, err := aarc.Workload("chatbot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec1, hit1, err := svc.Configure(context.Background(), spec, aarc.ServiceRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2, hit2, err := svc.Configure(context.Background(), spec, aarc.ServiceRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit1 || !hit2 {
+		t.Errorf("cache hits = %v, %v; want false, true", hit1, hit2)
+	}
+	if rec1.Fingerprint != rec2.Fingerprint || rec1.Samples != rec2.Samples {
+		t.Errorf("hit returned a different recommendation: %+v vs %+v", rec1, rec2)
+	}
+	if st := svc.Stats(); st.Searches != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 search / 1 hit", st)
+	}
+}

@@ -1,0 +1,256 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"aarc/internal/inputaware"
+	"aarc/internal/resources"
+	"aarc/internal/search"
+	"aarc/internal/workflow"
+	"aarc/internal/workloads"
+)
+
+// The HTTP surface of the serving layer, mounted by cmd/aarcd and testable
+// through net/http/httptest:
+//
+//	GET  /healthz       liveness + cache stats
+//	GET  /v1/methods    the search method registry
+//	POST /v1/configure  spec+options -> Recommendation (cache-aware)
+//	POST /v1/dispatch   input-aware request -> class + configuration
+//	POST /v1/evaluate   what-if runs against a configured fingerprint
+//
+// Configure and Dispatch responses carry an "X-Aarc-Cache: hit|miss"
+// header; the body bytes for one fingerprint are identical either way, so
+// clients may byte-compare responses.
+
+// maxRequestBody bounds request JSON (a spec with thousands of nodes fits
+// comfortably; this guards against unbounded uploads, not real use).
+const maxRequestBody = 4 << 20
+
+// NewHandler mounts the service's HTTP API.
+func NewHandler(s *Service) http.Handler {
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"uptime_s": time.Since(start).Seconds(),
+			"stats":    s.Stats(),
+		})
+	})
+	// The registry is frozen after init, so the name->display table is
+	// computed once at mount time rather than per request.
+	type method struct {
+		Name    string `json:"name"`
+		Display string `json:"display"`
+	}
+	var methods []method
+	for _, name := range s.Methods() {
+		m := method{Name: name, Display: name}
+		if sr, err := search.New(name, 0); err == nil {
+			m.Display = sr.Name()
+		}
+		methods = append(methods, m)
+	}
+	mux.HandleFunc("GET /v1/methods", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"methods": methods})
+	})
+	mux.HandleFunc("POST /v1/configure", func(w http.ResponseWriter, r *http.Request) {
+		var req configureRequest
+		if err := readJSON(w, r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		spec, err := req.spec()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		body, hit, err := s.ConfigureJSON(r.Context(), spec, req.options())
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeCached(w, body, hit)
+	})
+	mux.HandleFunc("POST /v1/dispatch", func(w http.ResponseWriter, r *http.Request) {
+		var req dispatchRequest
+		if err := readJSON(w, r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		spec, err := req.spec()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		var classes []inputaware.Class
+		for _, c := range req.Classes {
+			classes = append(classes, inputaware.Class{Name: c.Name, Scale: c.Scale})
+		}
+		res, hit, err := s.Dispatch(r.Context(), spec, classes, req.Scale, req.options())
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		w.Header().Set("X-Aarc-Cache", cacheHeader(hit))
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
+		var req evaluateRequest
+		if err := readJSON(w, r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Fingerprint == "" {
+			writeError(w, http.StatusBadRequest, errors.New("evaluate: fingerprint required (configure first)"))
+			return
+		}
+		var a resources.Assignment
+		if len(req.Assignment) > 0 {
+			a = make(resources.Assignment, len(req.Assignment))
+			for g, c := range req.Assignment {
+				a[g] = resources.Config{CPU: c.CPU, MemMB: c.MemMB}
+			}
+		}
+		results, err := s.Evaluate(req.Fingerprint, a, req.Runs)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		out := evaluateResponse{Fingerprint: req.Fingerprint}
+		for _, res := range results {
+			out.Runs = append(out.Runs, FinalResult{E2EMS: res.E2EMS, Cost: res.Cost, OOM: res.OOM})
+			out.MeanE2EMS += res.E2EMS
+			out.MeanCost += res.Cost
+		}
+		if n := float64(len(out.Runs)); n > 0 {
+			out.MeanE2EMS /= n
+			out.MeanCost /= n
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	return mux
+}
+
+// specSource is the shared spec half of the POST bodies: exactly one of a
+// built-in workload name or an inline spec in the DecodeSpec JSON format.
+type specSource struct {
+	Workload string          `json:"workload,omitempty"`
+	Spec     json.RawMessage `json:"spec,omitempty"`
+}
+
+func (ss specSource) spec() (*workflow.Spec, error) {
+	switch {
+	case ss.Workload != "" && len(ss.Spec) > 0:
+		return nil, errors.New("request: give either \"workload\" or \"spec\", not both")
+	case ss.Workload != "":
+		return workloads.ByName(ss.Workload)
+	case len(ss.Spec) > 0:
+		return workflow.DecodeSpec(bytes.NewReader(ss.Spec))
+	default:
+		return nil, errors.New("request: missing \"workload\" or \"spec\"")
+	}
+}
+
+// requestKnobs is the shared options half of the POST bodies.
+type requestKnobs struct {
+	Method       string  `json:"method,omitempty"`
+	Seed         *uint64 `json:"seed,omitempty"`
+	SLOMS        float64 `json:"slo_ms,omitempty"`
+	MaxSamples   int     `json:"max_samples,omitempty"`
+	MaxSimCostMS float64 `json:"max_sim_cost_ms,omitempty"`
+	InputScale   float64 `json:"input_scale,omitempty"`
+}
+
+func (rk requestKnobs) options() RequestOptions {
+	return RequestOptions{
+		Method:       rk.Method,
+		Seed:         rk.Seed,
+		SLOMS:        rk.SLOMS,
+		MaxSamples:   rk.MaxSamples,
+		MaxSimCostMS: rk.MaxSimCostMS,
+		InputScale:   rk.InputScale,
+	}
+}
+
+type configureRequest struct {
+	specSource
+	requestKnobs
+}
+
+type dispatchRequest struct {
+	specSource
+	requestKnobs
+	Scale   float64 `json:"scale"`
+	Classes []struct {
+		Name  string  `json:"name"`
+		Scale float64 `json:"scale"`
+	} `json:"classes,omitempty"`
+}
+
+type evaluateRequest struct {
+	Fingerprint string                 `json:"fingerprint"`
+	Assignment  map[string]ConfigValue `json:"assignment,omitempty"`
+	Runs        int                    `json:"runs,omitempty"`
+}
+
+type evaluateResponse struct {
+	Fingerprint string        `json:"fingerprint"`
+	Runs        []FinalResult `json:"runs"`
+	MeanE2EMS   float64       `json:"mean_e2e_ms"`
+	MeanCost    float64       `json:"mean_cost"`
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("request: decoding body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeCached writes a pre-marshaled body: hit and miss responses for one
+// fingerprint are byte-identical, differing only in the cache header.
+func writeCached(w http.ResponseWriter, body []byte, hit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Aarc-Cache", cacheHeader(hit))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+	_, _ = w.Write([]byte("\n"))
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func cacheHeader(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownFingerprint):
+		return http.StatusNotFound
+	case errors.Is(err, ErrTooManyRuns):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,257 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"aarc/internal/workflow"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := stubService(cfg)
+	ts := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// specBody renders a testSpec variant in the inline-spec request format,
+// exercising the DecodeSpec path rather than the workload shortcut.
+func specBody(t *testing.T, variant int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := workflow.EncodeSpec(&buf, testSpec(t, variant)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestHTTPConfigureConcurrentSingleSearch(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	before := stubSearches.Load()
+
+	// 64 concurrent requests: half for one spec, half spread over 4 others.
+	const callers = 64
+	bodies := make([]string, 5)
+	for v := range bodies {
+		bodies[v] = fmt.Sprintf(`{"spec": %s}`, specBody(t, v))
+	}
+	var wg sync.WaitGroup
+	responses := make([][]byte, callers)
+	statuses := make([]int, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := bodies[0]
+			if i%2 == 1 {
+				body = bodies[1+(i/2)%4]
+			}
+			resp, b := postJSON(t, ts.URL+"/v1/configure", body)
+			responses[i], statuses[i] = b, resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+
+	for i, code := range statuses {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, code, responses[i])
+		}
+	}
+	if got := stubSearches.Load() - before; got != 5 {
+		t.Errorf("%d concurrent requests over 5 distinct specs ran %d searches, want 5", callers, got)
+	}
+	if st := svc.Stats(); st.Entries != 5 {
+		t.Errorf("cache entries = %d, want 5", st.Entries)
+	}
+
+	// Responses for the same spec are byte-identical regardless of which
+	// caller was the singleflight leader.
+	for i := 2; i < callers; i += 2 {
+		if !bytes.Equal(responses[0], responses[i]) {
+			t.Fatalf("response %d differs from response 0:\n%s\nvs\n%s", i, responses[i], responses[0])
+		}
+	}
+}
+
+func TestHTTPConfigureCacheHeaderAndHitBytes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := fmt.Sprintf(`{"spec": %s}`, specBody(t, 0))
+
+	resp1, b1 := postJSON(t, ts.URL+"/v1/configure", body)
+	if got := resp1.Header.Get("X-Aarc-Cache"); got != "miss" {
+		t.Errorf("first response cache header = %q, want miss", got)
+	}
+	before := stubSearches.Load()
+	resp2, b2 := postJSON(t, ts.URL+"/v1/configure", body)
+	if got := resp2.Header.Get("X-Aarc-Cache"); got != "hit" {
+		t.Errorf("second response cache header = %q, want hit", got)
+	}
+	if stubSearches.Load() != before {
+		t.Error("cache hit invoked a searcher")
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("hit bytes differ from miss bytes:\n%s\nvs\n%s", b2, b1)
+	}
+
+	var rec Recommendation
+	if err := json.Unmarshal(b2, &rec); err != nil {
+		t.Fatalf("response is not a Recommendation: %v\n%s", err, b2)
+	}
+	if !strings.HasPrefix(rec.Fingerprint, "sha256:") || len(rec.Assignment) == 0 {
+		t.Errorf("malformed recommendation %+v", rec)
+	}
+}
+
+func TestHTTPConfigureWorkloadShortcut(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, b := postJSON(t, ts.URL+"/v1/configure", `{"workload": "chatbot"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var rec Recommendation
+	if err := json.Unmarshal(b, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Workflow != "chatbot" {
+		t.Errorf("workflow = %q", rec.Workflow)
+	}
+}
+
+func TestHTTPConfigureErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, body := range map[string]string{
+		"empty":         `{}`,
+		"both":          fmt.Sprintf(`{"workload": "chatbot", "spec": %s}`, specBody(t, 0)),
+		"bad workload":  `{"workload": "nope"}`,
+		"invalid json":  `{"workload":`,
+		"unknown field": `{"workload": "chatbot", "spec": {"bogus": 1}, "x": 2}`,
+	} {
+		resp, b := postJSON(t, ts.URL+"/v1/configure", body)
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("%s: got 200: %s", name, b)
+			continue
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(b, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body not JSON {error}: %s", name, b)
+		}
+	}
+}
+
+func TestHTTPDispatchAndEvaluate(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, b := postJSON(t, ts.URL+"/v1/dispatch", `{"workload": "video-analysis", "scale": 1.4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dispatch status %d: %s", resp.StatusCode, b)
+	}
+	var d DispatchResult
+	if err := json.Unmarshal(b, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Class != "heavy" {
+		t.Errorf("scale 1.4 classified as %q, want heavy", d.Class)
+	}
+
+	// Evaluate needs a configured fingerprint.
+	_, cb := postJSON(t, ts.URL+"/v1/configure", `{"workload": "chatbot"}`)
+	var rec Recommendation
+	if err := json.Unmarshal(cb, &rec); err != nil {
+		t.Fatal(err)
+	}
+	resp, b = postJSON(t, ts.URL+"/v1/evaluate",
+		fmt.Sprintf(`{"fingerprint": %q, "runs": 3}`, rec.Fingerprint))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate status %d: %s", resp.StatusCode, b)
+	}
+	var ev evaluateResponse
+	if err := json.Unmarshal(b, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Runs) != 3 || ev.MeanE2EMS <= 0 {
+		t.Errorf("evaluate response %+v", ev)
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/v1/evaluate", `{"fingerprint": "sha256:gone", "runs": 1}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown fingerprint status = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/evaluate",
+		fmt.Sprintf(`{"fingerprint": %q, "runs": 2000000000}`, rec.Fingerprint))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized runs status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPMethodsAndHealthz(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+
+	resp, err := http.Get(ts.URL + "/v1/methods")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var m struct {
+		Methods []struct {
+			Name    string `json:"name"`
+			Display string `json:"display"`
+		} `json:"methods"`
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for _, mm := range m.Methods {
+		names[mm.Name] = true
+	}
+	for _, want := range []string{"aarc", "stub", "random", "grid"} {
+		if !names[want] {
+			t.Errorf("method %q missing from /v1/methods: %s", want, b)
+		}
+	}
+
+	// Prime one entry so healthz stats are non-trivial.
+	postJSON(t, ts.URL+"/v1/configure", `{"workload": "chatbot"}`)
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var h struct {
+		Status string `json:"status"`
+		Stats  Stats  `json:"stats"`
+	}
+	if err := json.Unmarshal(b, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Stats.Entries != 1 {
+		t.Errorf("healthz = %s", b)
+	}
+	_ = svc
+}

@@ -1,0 +1,57 @@
+package service
+
+import "container/list"
+
+// lruCache is a bounded least-recently-used cache mapping fingerprints to
+// cache entries. It is not safe for concurrent use: the Service guards it
+// with its own mutex (the cache is touched only briefly — searches run
+// outside the lock, coordinated by the singleflight group).
+type lruCache struct {
+	capacity int
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type lruItem struct {
+	key string
+	val any
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the value for key and marks it most recently used.
+func (c *lruCache) get(key string) (any, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruItem).val, true
+}
+
+// add inserts (or replaces) key and reports the key it evicted to stay
+// within capacity, if any.
+func (c *lruCache) add(key string, val any) (evicted string, didEvict bool) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruItem).val = val
+		c.order.MoveToFront(el)
+		return "", false
+	}
+	c.items[key] = c.order.PushFront(&lruItem{key: key, val: val})
+	if c.order.Len() <= c.capacity {
+		return "", false
+	}
+	oldest := c.order.Back()
+	c.order.Remove(oldest)
+	k := oldest.Value.(*lruItem).key
+	delete(c.items, k)
+	return k, true
+}
+
+func (c *lruCache) len() int { return c.order.Len() }

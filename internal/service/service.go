@@ -1,0 +1,560 @@
+// Package service is the long-lived serving layer over the configuration
+// searchers: the §IV-D online engine shape — dispatch incoming work to
+// pre-searched configurations — generalized to every workflow.
+//
+// A Service owns three things:
+//
+//   - a content-addressed identity for work: the cache key is a SHA-256
+//     over the spec's canonical JSON (workflow.CanonicalJSON), the search
+//     options' canonical JSON (search.Options.CanonicalJSON) and the
+//     engine identity (method, seed, host cores, noise, input scale, and —
+//     for dispatch — the input classes), so byte-different requests that
+//     describe the same search share one entry;
+//   - a bounded LRU recommendation cache with singleflight admission: N
+//     concurrent requests for the same key run exactly one search, and a
+//     cache hit answers without constructing a Runner or Searcher at all;
+//   - a sharded runner pool per cached entry for the post-configuration
+//     hot path (Validate / Evaluate): Runners are not concurrency-safe
+//     (one-runner-per-goroutine rule, DESIGN.md §3), so the pool holds one
+//     independently-seeded Runner per shard behind its own mutex and
+//     spreads callers round-robin — concurrent evaluations contend only
+//     when they land on the same shard.
+//
+// Searches run detached from the requesting client's context
+// (context.WithoutCancel): a shared cache entry must not be poisoned by
+// whichever client happens to disconnect first. Bound server-side work
+// with Config.MaxSamples / MaxSimCostMS instead; a budget-exhausted search
+// is a normal stop and its partial recommendation is cached like any
+// other. Failed searches are never cached — the next request retries.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"aarc/internal/inputaware"
+	"aarc/internal/resources"
+	"aarc/internal/search"
+	"aarc/internal/workflow"
+)
+
+// Config sets a Service's defaults. Per-request values (RequestOptions)
+// override Method, Seed, SLOMS and InputScale; MaxSamples and MaxSimCostMS
+// act as server-side caps — a request may tighten a budget, never loosen
+// it past the cap.
+type Config struct {
+	Method       string  // search method; default "aarc"
+	Seed         uint64  // simulator+searcher seed; default 42
+	HostCores    float64 // host CPU capacity; 0 disables contention
+	Noise        bool    // measurement noise on the simulated testbed
+	InputScale   float64 // default input scale; 0 means 1.0
+	SLOMS        float64 // default SLO override; 0 keeps each spec's SLO
+	MaxSamples   int     // server-side sample cap per search; 0 = unlimited
+	MaxSimCostMS float64 // server-side simulated-time cap; 0 = unlimited
+	CacheSize    int     // max cached entries; default 128
+	Shards       int     // runners per entry's pool; default GOMAXPROCS
+}
+
+// RequestOptions carries the per-request knobs of Configure and Dispatch.
+// Zero values defer to the Service's Config (a nil Seed keeps the service
+// seed; 0 is a valid explicit seed).
+type RequestOptions struct {
+	Method       string
+	Seed         *uint64
+	SLOMS        float64
+	MaxSamples   int
+	MaxSimCostMS float64
+	InputScale   float64
+}
+
+// ConfigValue is the wire form of one function's resource configuration.
+type ConfigValue struct {
+	CPU   float64 `json:"cpu"`
+	MemMB float64 `json:"mem_mb"`
+}
+
+// FinalResult is the wire form of the search's last measurement of the
+// recommended assignment.
+type FinalResult struct {
+	E2EMS float64 `json:"e2e_ms"`
+	Cost  float64 `json:"cost"`
+	OOM   bool    `json:"oom"`
+}
+
+// Recommendation is the serializable outcome of one configuration search,
+// as cached and served. Its JSON encoding is deterministic (struct fields
+// in declaration order, string-keyed maps sorted by key), so every
+// response for one fingerprint is byte-identical.
+type Recommendation struct {
+	Fingerprint     string                 `json:"fingerprint"`
+	Workflow        string                 `json:"workflow"`
+	Method          string                 `json:"method"`
+	SLOMS           float64                `json:"slo_ms"`
+	Assignment      map[string]ConfigValue `json:"assignment"`
+	Samples         int                    `json:"samples"`
+	SearchRuntimeMS float64                `json:"search_runtime_ms"`
+	SearchCost      float64                `json:"search_cost"`
+	Final           FinalResult            `json:"final"`
+	SLOCompliant    bool                   `json:"slo_compliant"`
+}
+
+// ResourceAssignment converts the wire assignment back to the internal type.
+func (r *Recommendation) ResourceAssignment() resources.Assignment {
+	a := make(resources.Assignment, len(r.Assignment))
+	for g, c := range r.Assignment {
+		a[g] = resources.Config{CPU: c.CPU, MemMB: c.MemMB}
+	}
+	return a
+}
+
+// DispatchResult is the serializable outcome of one input-aware dispatch:
+// the class the analyzed input scale fell into and that class's
+// pre-searched configuration.
+type DispatchResult struct {
+	Fingerprint string                 `json:"fingerprint"`
+	Workflow    string                 `json:"workflow"`
+	Method      string                 `json:"method"`
+	Class       string                 `json:"class"`
+	ClassScale  float64                `json:"class_scale"`
+	Scale       float64                `json:"scale"`
+	Assignment  map[string]ConfigValue `json:"assignment"`
+}
+
+// Stats counts the service's cache behavior since construction.
+type Stats struct {
+	Hits      int64 `json:"hits"`      // answered from cache, no search machinery touched
+	Misses    int64 `json:"misses"`    // had to run — or wait on — a search
+	Searches  int64 `json:"searches"`  // underlying searches actually run
+	Evictions int64 `json:"evictions"` // entries dropped by the LRU bound
+	Entries   int   `json:"entries"`   // entries currently cached
+}
+
+// Service is the long-lived serving layer. It is safe for concurrent use.
+type Service struct {
+	cfg    Config
+	mu     sync.Mutex // guards cache
+	cache  *lruCache
+	flight flightGroup
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	searches  atomic.Int64
+	evictions atomic.Int64
+}
+
+// New builds a Service. Zero Config fields take the documented defaults.
+func New(cfg Config) *Service {
+	if cfg.Method == "" {
+		cfg.Method = "aarc"
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 128
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	return &Service{cfg: cfg, cache: newLRUCache(cfg.CacheSize)}
+}
+
+// Methods lists the registered search methods, sorted.
+func (s *Service) Methods() []string { return search.Methods() }
+
+// Stats returns a snapshot of the cache counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	entries := s.cache.len()
+	s.mu.Unlock()
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Searches:  s.searches.Load(),
+		Evictions: s.evictions.Load(),
+		Entries:   entries,
+	}
+}
+
+// entry is one cached recommendation plus everything needed to evaluate
+// against it after the search: the spec, the runner options the search
+// used, and a lazily-built sharded runner pool.
+type entry struct {
+	rec   *Recommendation
+	body  []byte // rec's JSON, served byte-identically on every hit
+	spec  *workflow.Spec
+	ropts workflow.RunnerOptions
+
+	poolOnce sync.Once
+	pool     *runnerPool
+	poolErr  error
+}
+
+func (e *entry) runnerPool(shards int) (*runnerPool, error) {
+	e.poolOnce.Do(func() {
+		e.pool, e.poolErr = newRunnerPool(e.spec, e.ropts, shards)
+	})
+	return e.pool, e.poolErr
+}
+
+// engineEntry is one cached input-aware engine (Dispatch is read-only and
+// concurrency-safe once configured).
+type engineEntry struct {
+	engine *inputaware.Engine
+	spec   *workflow.Spec
+	method string
+}
+
+// resolved folds a request into the service defaults.
+type resolved struct {
+	method string
+	seed   uint64
+	ropts  workflow.RunnerOptions
+	sopts  search.Options
+}
+
+func (s *Service) resolve(spec *workflow.Spec, ro RequestOptions) resolved {
+	r := resolved{method: s.cfg.Method, seed: s.cfg.Seed}
+	if ro.Method != "" {
+		r.method = ro.Method
+	}
+	if ro.Seed != nil {
+		r.seed = *ro.Seed
+	}
+	scale := s.cfg.InputScale
+	if ro.InputScale > 0 {
+		scale = ro.InputScale
+	}
+	r.ropts = workflow.RunnerOptions{
+		HostCores:  s.cfg.HostCores,
+		Noise:      s.cfg.Noise,
+		Seed:       r.seed,
+		InputScale: scale,
+	}
+	sloMS := s.cfg.SLOMS
+	if ro.SLOMS > 0 {
+		sloMS = ro.SLOMS
+	}
+	if sloMS <= 0 {
+		sloMS = spec.SLOMS
+	}
+	r.sopts = search.Options{
+		SLOMS:        sloMS,
+		MaxSamples:   capBudget(ro.MaxSamples, s.cfg.MaxSamples),
+		MaxSimCostMS: capBudgetF(ro.MaxSimCostMS, s.cfg.MaxSimCostMS),
+	}
+	return r
+}
+
+// capBudget applies the server-side cap: the request may tighten the
+// budget, never loosen past the cap (0 = unlimited on either side).
+func capBudget(req, cap int) int {
+	if cap > 0 && (req <= 0 || req > cap) {
+		return cap
+	}
+	return req
+}
+
+func capBudgetF(req, cap float64) float64 {
+	if cap > 0 && (req <= 0 || req > cap) {
+		return cap
+	}
+	return req
+}
+
+// fingerprint builds the content-addressed cache key. classes is non-nil
+// only for dispatch keys, which must not collide with configure keys for
+// the same spec.
+func (s *Service) fingerprint(spec *workflow.Spec, r resolved, classes []inputaware.Class) (string, error) {
+	specJSON, err := workflow.CanonicalJSON(spec)
+	if err != nil {
+		return "", err
+	}
+	key := struct {
+		Spec       json.RawMessage    `json:"spec"`
+		Search     json.RawMessage    `json:"search"`
+		Method     string             `json:"method"`
+		Seed       uint64             `json:"seed"`
+		HostCores  float64            `json:"host_cores"`
+		Noise      bool               `json:"noise"`
+		InputScale float64            `json:"input_scale"`
+		Classes    []inputaware.Class `json:"classes,omitempty"`
+	}{
+		Spec:       specJSON,
+		Search:     r.sopts.CanonicalJSON(),
+		Method:     r.method,
+		Seed:       r.seed,
+		HostCores:  r.ropts.HostCores,
+		Noise:      r.ropts.Noise,
+		InputScale: r.ropts.InputScale,
+		Classes:    classes,
+	}
+	b, err := json.Marshal(key)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("sha256:%x", sha256.Sum256(b)), nil
+}
+
+// lookup reads the cache without touching the hit/miss counters.
+func (s *Service) lookup(fp string) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.get(fp)
+}
+
+// store inserts a completed entry, counting any LRU eviction.
+func (s *Service) store(fp string, v any) {
+	s.mu.Lock()
+	_, evicted := s.cache.add(fp, v)
+	s.mu.Unlock()
+	if evicted {
+		s.evictions.Add(1)
+	}
+}
+
+// configure is the shared Configure path returning the cache entry itself.
+func (s *Service) configure(ctx context.Context, spec *workflow.Spec, ro RequestOptions) (e *entry, cacheHit bool, err error) {
+	if spec == nil {
+		return nil, false, errors.New("service: Configure with nil spec")
+	}
+	r := s.resolve(spec, ro)
+	fp, err := s.fingerprint(spec, r, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if v, ok := s.lookup(fp); ok {
+		e, ok := v.(*entry)
+		if !ok {
+			return nil, false, fmt.Errorf("service: fingerprint %s is a dispatch engine, not a recommendation", fp)
+		}
+		s.hits.Add(1)
+		return e, true, nil
+	}
+	s.misses.Add(1)
+	v, err, _ := s.flight.do(ctx, fp, func() (any, error) {
+		// Re-check under singleflight: the previous leader may have filled
+		// the cache between this caller's miss and its turn as leader.
+		if v, ok := s.lookup(fp); ok {
+			return v, nil
+		}
+		e, err := s.runSearch(ctx, fp, spec, r)
+		if err != nil {
+			return nil, err
+		}
+		s.store(fp, e)
+		return e, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	e, ok := v.(*entry)
+	if !ok {
+		return nil, false, fmt.Errorf("service: fingerprint %s is a dispatch engine, not a recommendation", fp)
+	}
+	return e, false, nil
+}
+
+// Configure returns the recommendation for (spec, options), searching at
+// most once per fingerprint: concurrent callers with the same fingerprint
+// share one search via singleflight, and later callers hit the cache
+// without constructing a Runner or Searcher. cacheHit reports whether this
+// call was answered from the cache (false for the singleflight leader and
+// the followers that waited on it).
+//
+// The service retains spec (for the entry's lazily-built runner pool), so
+// — as with NewRunner — the caller must not mutate it afterwards. The
+// HTTP layer decodes a fresh spec per request and is unaffected.
+func (s *Service) Configure(ctx context.Context, spec *workflow.Spec, ro RequestOptions) (rec *Recommendation, cacheHit bool, err error) {
+	e, hit, err := s.configure(ctx, spec, ro)
+	if err != nil {
+		return nil, hit, err
+	}
+	return e.rec, hit, nil
+}
+
+// ConfigureJSON is Configure returning the entry's cached deterministic
+// JSON encoding: every response for one fingerprint — leader, follower or
+// hit — is byte-identical. Callers must not mutate the returned slice.
+func (s *Service) ConfigureJSON(ctx context.Context, spec *workflow.Spec, ro RequestOptions) (body []byte, cacheHit bool, err error) {
+	e, hit, err := s.configure(ctx, spec, ro)
+	if err != nil {
+		return nil, hit, err
+	}
+	return e.body, hit, nil
+}
+
+// runSearch performs one search and builds its cache entry. It runs
+// detached from the client's context (see the package comment).
+func (s *Service) runSearch(ctx context.Context, fp string, spec *workflow.Spec, r resolved) (*entry, error) {
+	searcher, err := search.New(r.method, r.seed)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := workflow.NewRunner(spec, r.ropts)
+	if err != nil {
+		return nil, err
+	}
+	s.searches.Add(1)
+	out, err := searcher.Search(context.WithoutCancel(ctx), runner, r.sopts)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Recommendation{
+		Fingerprint:     fp,
+		Workflow:        spec.Name,
+		Method:          searcher.Name(),
+		SLOMS:           r.sopts.SLOMS,
+		Assignment:      wireAssignment(out.Best),
+		Samples:         out.Trace.Len(),
+		SearchRuntimeMS: out.Trace.TotalRuntimeMS(),
+		SearchCost:      out.Trace.TotalCost(),
+		Final: FinalResult{
+			E2EMS: out.Final.E2EMS,
+			Cost:  out.Final.Cost,
+			OOM:   out.Final.OOM,
+		},
+		SLOCompliant: out.Final.E2EMS > 0 && !out.Final.OOM && out.Final.E2EMS <= r.sopts.SLOMS,
+	}
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	return &entry{rec: rec, body: body, spec: spec, ropts: r.ropts}, nil
+}
+
+// Dispatch is the §IV-D online engine over the cache: it configures (or
+// reuses) one search per input class, classifies the request's analyzed
+// input scale, and returns that class's configuration. classes defaults to
+// the paper's Video Analysis classes when empty.
+func (s *Service) Dispatch(ctx context.Context, spec *workflow.Spec, classes []inputaware.Class, scale float64, ro RequestOptions) (res *DispatchResult, cacheHit bool, err error) {
+	if spec == nil {
+		return nil, false, errors.New("service: Dispatch with nil spec")
+	}
+	if scale <= 0 {
+		return nil, false, fmt.Errorf("service: Dispatch with non-positive input scale %v", scale)
+	}
+	if len(classes) == 0 {
+		classes = inputaware.DefaultVideoClasses()
+	}
+	sorted := append([]inputaware.Class(nil), classes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Scale < sorted[j].Scale })
+
+	r := s.resolve(spec, ro)
+	fp, err := s.fingerprint(spec, r, sorted)
+	if err != nil {
+		return nil, false, err
+	}
+	var v any
+	if cached, ok := s.lookup(fp); ok {
+		s.hits.Add(1)
+		v, cacheHit = cached, true
+	} else {
+		s.misses.Add(1)
+		v, err, _ = s.flight.do(ctx, fp, func() (any, error) {
+			if v, ok := s.lookup(fp); ok {
+				return v, nil
+			}
+			searcher, err := search.New(r.method, r.seed)
+			if err != nil {
+				return nil, err
+			}
+			engine, err := inputaware.Configure(context.WithoutCancel(ctx), spec, r.ropts, searcher, r.sopts, sorted)
+			if err != nil {
+				return nil, err
+			}
+			s.searches.Add(int64(len(sorted)))
+			e := &engineEntry{engine: engine, spec: spec, method: searcher.Name()}
+			s.store(fp, e)
+			return e, nil
+		})
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	ee, ok := v.(*engineEntry)
+	if !ok {
+		return nil, false, fmt.Errorf("service: fingerprint %s is a recommendation, not a dispatch engine", fp)
+	}
+	cls, a := ee.engine.Dispatch(inputaware.Request{Scale: scale})
+	return &DispatchResult{
+		Fingerprint: fp,
+		Workflow:    ee.spec.Name,
+		Method:      ee.method,
+		Class:       cls.Name,
+		ClassScale:  cls.Scale,
+		Scale:       scale,
+		Assignment:  wireAssignment(a),
+	}, cacheHit, nil
+}
+
+// ErrUnknownFingerprint is returned by Evaluate/Validate when the
+// fingerprint has no cached entry (never configured here, or evicted).
+var ErrUnknownFingerprint = errors.New("service: unknown fingerprint (not configured or evicted)")
+
+// MaxEvaluateRuns bounds one Evaluate/Validate call (and therefore one
+// /v1/evaluate request): evaluation is synchronous simulator work, so an
+// unbounded client-controlled count would let a single request pin the
+// daemon.
+const MaxEvaluateRuns = 1024
+
+// ErrTooManyRuns is returned when an Evaluate/Validate run count exceeds
+// MaxEvaluateRuns.
+var ErrTooManyRuns = fmt.Errorf("service: runs exceed the per-request bound %d", MaxEvaluateRuns)
+
+// Evaluate runs the workflow behind a configured fingerprint n times under
+// an arbitrary assignment (what-if probing), on the entry's sharded runner
+// pool. A nil assignment evaluates the cached recommendation itself.
+func (s *Service) Evaluate(fp string, a resources.Assignment, n int) ([]search.Result, error) {
+	if n <= 0 {
+		n = 1
+	}
+	if n > MaxEvaluateRuns {
+		return nil, ErrTooManyRuns
+	}
+	v, ok := s.lookup(fp)
+	if !ok {
+		return nil, ErrUnknownFingerprint
+	}
+	e, ok := v.(*entry)
+	if !ok {
+		return nil, fmt.Errorf("service: fingerprint %s is a dispatch engine, not a recommendation", fp)
+	}
+	pool, err := e.runnerPool(s.cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	if a == nil {
+		a = e.rec.ResourceAssignment()
+	}
+	out := make([]search.Result, 0, n)
+	for i := 0; i < n; i++ {
+		res, err := pool.evaluate(a)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Validate re-executes a fingerprint's recommended assignment n times on
+// the sharded pool and returns the per-run results. Unlike
+// Recommendation.Validate on the facade (which continues the search's own
+// RNG stream), the pool's runners are independently seeded per shard: this
+// is fresh-measurement statistics, not a continuation of the search.
+func (s *Service) Validate(fp string, n int) ([]search.Result, error) {
+	return s.Evaluate(fp, nil, n)
+}
+
+func wireAssignment(a resources.Assignment) map[string]ConfigValue {
+	out := make(map[string]ConfigValue, len(a))
+	for g, c := range a {
+		out[g] = ConfigValue{CPU: c.CPU, MemMB: c.MemMB}
+	}
+	return out
+}

@@ -1,0 +1,432 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"aarc/internal/dag"
+	"aarc/internal/perfmodel"
+	"aarc/internal/resources"
+	"aarc/internal/search"
+	"aarc/internal/workflow"
+	"aarc/internal/workloads"
+
+	// Resolve the real methods through the registry, as cmd/aarcd does.
+	_ "aarc/internal/baselines/naive"
+	_ "aarc/internal/core"
+)
+
+// stubSearches counts every Search call of the "stub" method across the
+// test binary, so tests can assert exactly-one-search-per-fingerprint.
+var stubSearches atomic.Int64
+
+// stubSearcher is a minimal registry method: one Evaluate of the base
+// assignment, one recorded sample. Fast enough to run hundreds of times
+// under -race.
+type stubSearcher struct{}
+
+func (stubSearcher) Name() string { return "Stub" }
+
+func (stubSearcher) Search(ctx context.Context, ev search.Evaluator, opts search.Options) (search.Outcome, error) {
+	stubSearches.Add(1)
+	trace := search.NewTrace(ctx, "Stub", opts)
+	base := ev.Base()
+	res, err := ev.Evaluate(base)
+	if err != nil {
+		return search.Outcome{}, err
+	}
+	rerr := trace.Record(base, res, true, "stub")
+	return search.Outcome{Best: base, Trace: trace, Final: res}, search.StopCause(rerr)
+}
+
+func init() {
+	search.Register("stub", func(seed uint64) search.Searcher { return stubSearcher{} })
+}
+
+// testSpec builds a tiny linear workflow whose SLO varies per variant, so
+// tests can mint arbitrarily many distinct fingerprints cheaply.
+func testSpec(t testing.TB, variant int) *workflow.Spec {
+	t.Helper()
+	g := dag.New()
+	for _, id := range []string{"in", "out"} {
+		if err := g.AddNode(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge("in", "out"); err != nil {
+		t.Fatal(err)
+	}
+	profiles := make(map[string]perfmodel.Profile, 2)
+	for _, id := range []string{"in", "out"} {
+		profiles[id] = perfmodel.Profile{
+			Name: id, CPUWorkMS: 500, ParallelFrac: 0.5, FootprintMB: 256, MinMemMB: 128,
+		}
+	}
+	spec := &workflow.Spec{
+		Name:     fmt.Sprintf("svc-test-%d", variant),
+		G:        g,
+		Profiles: profiles,
+		SLOMS:    float64(5000 + variant),
+		Base: resources.Assignment{
+			"in":  {CPU: 4, MemMB: 4096},
+			"out": {CPU: 4, MemMB: 4096},
+		},
+		Limits: resources.DefaultLimits(),
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func stubService(cfg Config) *Service {
+	cfg.Method = "stub"
+	return New(cfg)
+}
+
+func TestConfigureSingleflightOneSearchPerFingerprint(t *testing.T) {
+	svc := stubService(Config{})
+	spec := testSpec(t, 0)
+	before := stubSearches.Load()
+
+	const callers = 64
+	var wg sync.WaitGroup
+	recs := make([]*Recommendation, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			recs[i], _, errs[i] = svc.Configure(context.Background(), spec, RequestOptions{})
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if got := stubSearches.Load() - before; got != 1 {
+		t.Errorf("%d concurrent Configure calls ran %d searches, want exactly 1", callers, got)
+	}
+	for i, rec := range recs {
+		if rec.Fingerprint != recs[0].Fingerprint {
+			t.Fatalf("caller %d got fingerprint %s, caller 0 got %s", i, rec.Fingerprint, recs[0].Fingerprint)
+		}
+	}
+	if st := svc.Stats(); st.Searches != 1 || st.Entries != 1 {
+		t.Errorf("stats after identical burst: %+v", st)
+	}
+}
+
+func TestConfigureDistinctSpecsSearchOnceEach(t *testing.T) {
+	svc := stubService(Config{})
+	before := stubSearches.Load()
+
+	const distinct = 8
+	const callersPer = 8
+	var wg sync.WaitGroup
+	fps := make([]string, distinct*callersPer)
+	for v := 0; v < distinct; v++ {
+		spec := testSpec(t, v)
+		for c := 0; c < callersPer; c++ {
+			wg.Add(1)
+			go func(idx int) {
+				defer wg.Done()
+				rec, _, err := svc.Configure(context.Background(), spec, RequestOptions{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				fps[idx] = rec.Fingerprint
+			}(v*callersPer + c)
+		}
+	}
+	wg.Wait()
+
+	if got := stubSearches.Load() - before; got != distinct {
+		t.Errorf("%d distinct specs ran %d searches, want %d", distinct, got, distinct)
+	}
+	unique := make(map[string]bool)
+	for _, fp := range fps {
+		unique[fp] = true
+	}
+	if len(unique) != distinct {
+		t.Errorf("got %d unique fingerprints, want %d", len(unique), distinct)
+	}
+}
+
+func TestConfigureCacheHitRunsNoSearch(t *testing.T) {
+	svc := stubService(Config{})
+	spec := testSpec(t, 0)
+
+	if _, hit, err := svc.Configure(context.Background(), spec, RequestOptions{}); err != nil || hit {
+		t.Fatalf("priming call: hit=%v err=%v", hit, err)
+	}
+	before := stubSearches.Load()
+	rec, hit, err := svc.Configure(context.Background(), spec, RequestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second identical Configure was not a cache hit")
+	}
+	if got := stubSearches.Load() - before; got != 0 {
+		t.Errorf("cache hit ran %d searches, want 0", got)
+	}
+	if rec == nil || len(rec.Assignment) == 0 {
+		t.Fatalf("cache hit returned empty recommendation %+v", rec)
+	}
+	if st := svc.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestConfigureJSONByteIdenticalAcrossHits(t *testing.T) {
+	svc := stubService(Config{})
+	spec := testSpec(t, 0)
+
+	miss, hit0, err := svc.ConfigureJSON(context.Background(), spec, RequestOptions{})
+	if err != nil || hit0 {
+		t.Fatalf("priming: hit=%v err=%v", hit0, err)
+	}
+	for i := 0; i < 3; i++ {
+		got, hit, err := svc.ConfigureJSON(context.Background(), spec, RequestOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hit {
+			t.Errorf("call %d not a hit", i)
+		}
+		if string(got) != string(miss) {
+			t.Errorf("hit %d bytes differ from miss:\nmiss: %s\nhit:  %s", i, miss, got)
+		}
+	}
+}
+
+func TestLRUEvictionBoundsCache(t *testing.T) {
+	const capacity = 4
+	svc := stubService(Config{CacheSize: capacity})
+	before := stubSearches.Load()
+
+	const distinct = 10
+	for v := 0; v < distinct; v++ {
+		if _, _, err := svc.Configure(context.Background(), testSpec(t, v), RequestOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	if st.Entries != capacity {
+		t.Errorf("cache holds %d entries, want bound %d", st.Entries, capacity)
+	}
+	if st.Evictions != distinct-capacity {
+		t.Errorf("evictions = %d, want %d", st.Evictions, distinct-capacity)
+	}
+
+	// The oldest entry was evicted: configuring it again must search again.
+	if _, hit, err := svc.Configure(context.Background(), testSpec(t, 0), RequestOptions{}); err != nil || hit {
+		t.Fatalf("re-configure of evicted spec: hit=%v err=%v", hit, err)
+	}
+	// The newest entry is still cached: no extra search.
+	if _, hit, err := svc.Configure(context.Background(), testSpec(t, distinct-1), RequestOptions{}); err != nil || !hit {
+		t.Fatalf("newest entry should still be cached: hit=%v err=%v", hit, err)
+	}
+	if got := stubSearches.Load() - before; got != distinct+1 {
+		t.Errorf("ran %d searches, want %d (%d distinct + 1 re-search of evicted)", got, distinct+1, distinct)
+	}
+}
+
+func TestRequestOptionsChangeFingerprint(t *testing.T) {
+	svc := stubService(Config{})
+	spec := testSpec(t, 0)
+	ctx := context.Background()
+
+	base, _, err := svc.Configure(ctx, spec, RequestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(7)
+	variants := map[string]RequestOptions{
+		"seed":        {Seed: &seed},
+		"slo":         {SLOMS: 99999},
+		"max_samples": {MaxSamples: 3},
+		"scale":       {InputScale: 1.5},
+	}
+	seen := map[string]string{"base": base.Fingerprint}
+	for name, ro := range variants {
+		rec, _, err := svc.Configure(ctx, spec, ro)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for prev, fp := range seen {
+			if rec.Fingerprint == fp {
+				t.Errorf("options %q collide with %q on fingerprint %s", name, prev, fp)
+			}
+		}
+		seen[name] = rec.Fingerprint
+	}
+}
+
+func TestServerSideBudgetCap(t *testing.T) {
+	svc := New(Config{Method: "aarc", MaxSamples: 5})
+	spec, err := workloads.ByName("chatbot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Request asks for more than the cap: the cap wins.
+	rec, _, err := svc.Configure(context.Background(), spec, RequestOptions{MaxSamples: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Samples > 5 {
+		t.Errorf("server cap 5 allowed %d samples", rec.Samples)
+	}
+	// A tighter request stays tighter (distinct fingerprint, new search).
+	rec2, _, err := svc.Configure(context.Background(), spec, RequestOptions{MaxSamples: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Samples > 2 {
+		t.Errorf("request cap 2 allowed %d samples", rec2.Samples)
+	}
+}
+
+func TestEvaluateAndValidateOnShardedPool(t *testing.T) {
+	svc := stubService(Config{Shards: 4})
+	spec := testSpec(t, 0)
+	rec, _, err := svc.Configure(context.Background(), spec, RequestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent validations exercise every shard under -race.
+	const callers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results, err := svc.Validate(rec.Fingerprint, 4)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for _, r := range results {
+				if r.E2EMS <= 0 {
+					errs[i] = fmt.Errorf("non-positive e2e %v", r.E2EMS)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("validator %d: %v", i, err)
+		}
+	}
+
+	// What-if evaluation under an explicit assignment.
+	a := resources.Assignment{
+		"in":  {CPU: 1, MemMB: 512},
+		"out": {CPU: 1, MemMB: 512},
+	}
+	results, err := svc.Evaluate(rec.Fingerprint, a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+
+	if _, err := svc.Validate("sha256:unknown", 1); err != ErrUnknownFingerprint {
+		t.Errorf("unknown fingerprint error = %v, want ErrUnknownFingerprint", err)
+	}
+	if _, err := svc.Validate(rec.Fingerprint, MaxEvaluateRuns+1); !errors.Is(err, ErrTooManyRuns) {
+		t.Errorf("oversized run count error = %v, want ErrTooManyRuns", err)
+	}
+}
+
+func TestDispatchCachesEnginePerClassSet(t *testing.T) {
+	svc := stubService(Config{})
+	spec, err := workloads.ByName("video-analysis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := stubSearches.Load()
+
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]*DispatchResult, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Scales spread across the three default classes.
+			scale := 0.3 + float64(i%3)*0.6
+			results[i], _, errs[i] = svc.Dispatch(context.Background(), spec, nil, scale, RequestOptions{})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("dispatcher %d: %v", i, err)
+		}
+	}
+	// One engine = one search per class, shared by all 16 dispatchers.
+	if got := stubSearches.Load() - before; got != 3 {
+		t.Errorf("16 concurrent Dispatch calls ran %d searches, want 3 (one per class)", got)
+	}
+	for i, r := range results {
+		if r.Class == "" || len(r.Assignment) == 0 {
+			t.Errorf("dispatcher %d got empty result %+v", i, r)
+		}
+	}
+
+	// Dispatch and Configure must not collide on the same spec.
+	rec, _, err := svc.Configure(context.Background(), spec, RequestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Fingerprint == results[0].Fingerprint {
+		t.Error("configure and dispatch share a fingerprint for the same spec")
+	}
+}
+
+func TestDispatchRejectsBadScale(t *testing.T) {
+	svc := stubService(Config{})
+	if _, _, err := svc.Dispatch(context.Background(), testSpec(t, 0), nil, 0, RequestOptions{}); err == nil {
+		t.Error("Dispatch accepted scale 0")
+	}
+}
+
+func TestConfigureRealMethodThroughService(t *testing.T) {
+	svc := New(Config{Seed: 42, HostCores: 96, Noise: true, MaxSamples: 40})
+	spec, err := workloads.ByName("chatbot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, hit, err := svc.Configure(context.Background(), spec, RequestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first Configure reported a cache hit")
+	}
+	if rec.Method != "AARC" {
+		t.Errorf("method = %s, want AARC", rec.Method)
+	}
+	if rec.Samples == 0 || rec.Samples > 40 {
+		t.Errorf("samples = %d, want 1..40", rec.Samples)
+	}
+	if len(rec.Assignment) != len(spec.FunctionGroups()) {
+		t.Errorf("assignment covers %d groups, want %d", len(rec.Assignment), len(spec.FunctionGroups()))
+	}
+}

@@ -1,0 +1,57 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent work by key: the first caller for a
+// key becomes the leader and runs fn; every caller that arrives while the
+// leader is in flight waits for the leader's result instead of running fn
+// again. Unlike golang.org/x/sync/singleflight (not vendored here), the
+// wait is context-aware: a follower whose context is cancelled stops
+// waiting and returns its ctx.Err() while the leader keeps running — one
+// impatient client never aborts work other clients are waiting on.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when val/err are set
+	val  any
+	err  error
+}
+
+// do runs fn once per key among concurrent callers. shared reports whether
+// this caller received a leader's result rather than running fn itself.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	// Cleanup is deferred so a panicking fn (recovered further up, e.g. by
+	// net/http) cannot leave a never-closed call in the map, which would
+	// block every future caller for this key forever.
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err, false
+}

@@ -1,0 +1,98 @@
+package workflow
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// The canonical encoding reuses the on-disk JSON vocabulary (specJSON and
+// friends) but fixes an order the DAG does not: nodes sorted by ID, edges
+// sorted lexicographically, and the full per-group base assignment instead
+// of the uniform shorthand. Two Specs that describe the same workflow —
+// regardless of construction order — canonicalize to the same bytes, and
+// two that differ in anything result-affecting (profile, group, edge, SLO,
+// base, limits) do not.
+type canonicalSpec struct {
+	Name   string                `json:"name"`
+	SLOMS  float64               `json:"slo_ms"`
+	Nodes  []nodeJSON            `json:"nodes"`
+	Edges  [][2]string           `json:"edges"`
+	Base   map[string]configJSON `json:"base"`
+	Limits limitsJSON            `json:"limits"`
+}
+
+// CanonicalJSON returns the deterministic JSON encoding of a spec: the
+// DecodeSpec vocabulary with nodes and edges sorted and the base assignment
+// spelled out per group. It is the preimage of Fingerprint; callers that
+// combine a spec with other cache-key material (search options, runner
+// seeds) hash over these bytes.
+func CanonicalJSON(spec *Spec) ([]byte, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cs := canonicalSpec{
+		Name:  spec.Name,
+		SLOMS: spec.SLOMS,
+		Base:  make(map[string]configJSON, len(spec.Base)),
+	}
+	ids := append([]string(nil), spec.G.Nodes()...)
+	sort.Strings(ids)
+	for _, id := range ids {
+		p := spec.Profiles[id]
+		n := nodeJSON{
+			ID: id,
+			Profile: profileJSON{
+				CPUWorkMS:      p.CPUWorkMS,
+				ParallelFrac:   p.ParallelFrac,
+				MaxParallel:    p.MaxParallel,
+				IOMS:           p.IOMS,
+				FootprintMB:    p.FootprintMB,
+				MinMemMB:       p.MinMemMB,
+				PressureK:      p.PressureK,
+				NoiseStd:       p.NoiseStd,
+				InputSensitive: p.InputSensitive,
+			},
+		}
+		if grp := spec.GroupOf(id); grp != id {
+			n.Group = grp
+		}
+		cs.Nodes = append(cs.Nodes, n)
+	}
+	for _, from := range ids {
+		for _, to := range spec.G.Succ(from) {
+			cs.Edges = append(cs.Edges, [2]string{from, to})
+		}
+	}
+	sort.Slice(cs.Edges, func(i, j int) bool {
+		if cs.Edges[i][0] != cs.Edges[j][0] {
+			return cs.Edges[i][0] < cs.Edges[j][0]
+		}
+		return cs.Edges[i][1] < cs.Edges[j][1]
+	})
+	for g, cfg := range spec.Base {
+		cs.Base[g] = configJSON{CPU: cfg.CPU, MemMB: cfg.MemMB}
+	}
+	lim := spec.Limits
+	cs.Limits = limitsJSON{
+		MinCPU: lim.MinCPU, MaxCPU: lim.MaxCPU, CPUStep: lim.CPUStep,
+		MinMemMB: lim.MinMemMB, MaxMemMB: lim.MaxMemMB, MemStepMB: lim.MemStepMB,
+	}
+	// encoding/json writes struct fields in declaration order and string-keyed
+	// maps sorted by key, so the bytes are a pure function of the spec.
+	return json.Marshal(cs)
+}
+
+// Fingerprint returns "sha256:<hex>" over the spec's canonical JSON. It is
+// the content-addressed identity of a workflow definition: the serving
+// layer keys its recommendation cache on it (combined with the search
+// options' own canonical encoding).
+func Fingerprint(spec *Spec) (string, error) {
+	b, err := CanonicalJSON(spec)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return fmt.Sprintf("sha256:%x", sum), nil
+}

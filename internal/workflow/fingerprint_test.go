@@ -1,0 +1,140 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+
+	"aarc/internal/dag"
+	"aarc/internal/perfmodel"
+	"aarc/internal/resources"
+)
+
+// fingerprintSpec builds a small two-group diamond workflow. addOrder
+// permutes node/edge insertion so tests can prove order-independence.
+func fingerprintSpec(t *testing.T, reversed bool) *Spec {
+	t.Helper()
+	g := dag.New()
+	nodes := []string{"a", "b", "c", "d"}
+	if reversed {
+		nodes = []string{"d", "c", "b", "a"}
+	}
+	for _, id := range nodes {
+		if err := g.AddNode(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edges := [][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}}
+	if reversed {
+		edges = [][2]string{{"c", "d"}, {"b", "d"}, {"a", "c"}, {"a", "b"}}
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	profiles := make(map[string]perfmodel.Profile, 4)
+	for _, id := range []string{"a", "b", "c", "d"} {
+		profiles[id] = perfmodel.Profile{
+			Name: id, CPUWorkMS: 1000, ParallelFrac: 0.5, FootprintMB: 256, MinMemMB: 128,
+		}
+	}
+	spec := &Spec{
+		Name:     "fp-test",
+		G:        g,
+		Profiles: profiles,
+		Groups:   map[string]string{"b": "mid", "c": "mid"},
+		SLOMS:    10000,
+		Base: resources.Assignment{
+			"a": {CPU: 4, MemMB: 4096}, "d": {CPU: 4, MemMB: 4096},
+			"mid": {CPU: 4, MemMB: 4096},
+		},
+		Limits: resources.DefaultLimits(),
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestFingerprintDeterministicAndOrderIndependent(t *testing.T) {
+	a := fingerprintSpec(t, false)
+	b := fingerprintSpec(t, true)
+
+	fa1, err := Fingerprint(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa2, err := Fingerprint(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := Fingerprint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa1 != fa2 {
+		t.Errorf("fingerprint not deterministic: %s vs %s", fa1, fa2)
+	}
+	if fa1 != fb {
+		t.Errorf("fingerprint depends on construction order: %s vs %s", fa1, fb)
+	}
+	if !strings.HasPrefix(fa1, "sha256:") || len(fa1) != len("sha256:")+64 {
+		t.Errorf("malformed fingerprint %q", fa1)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fingerprintSpec(t, false)
+	fp0, err := Fingerprint(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutations := map[string]func(*Spec){
+		"slo":     func(s *Spec) { s.SLOMS = 20000 },
+		"base":    func(s *Spec) { s.Base["mid"] = resources.Config{CPU: 2, MemMB: 2048} },
+		"profile": func(s *Spec) { p := s.Profiles["a"]; p.CPUWorkMS = 2000; s.Profiles["a"] = p },
+		"limits":  func(s *Spec) { s.Limits.MaxCPU = 8 },
+	}
+	for name, mutate := range mutations {
+		s := fingerprintSpec(t, false)
+		mutate(s)
+		fp, err := Fingerprint(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fp == fp0 {
+			t.Errorf("mutation %q did not change the fingerprint", name)
+		}
+	}
+
+	// A structurally different DAG (one edge dropped) must differ too.
+	s := fingerprintSpec(t, false)
+	g := dag.New()
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if err := g.AddNode(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.G = g
+	fp, err := Fingerprint(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp == fp0 {
+		t.Error("dropping an edge did not change the fingerprint")
+	}
+}
+
+func TestFingerprintRejectsInvalidSpec(t *testing.T) {
+	s := fingerprintSpec(t, false)
+	s.SLOMS = -1
+	if _, err := Fingerprint(s); err == nil {
+		t.Error("Fingerprint accepted an invalid spec")
+	}
+}

@@ -15,6 +15,8 @@ type settings struct {
 	hostCores  float64
 	noise      bool
 	inputScale float64 // 0: scale 1.0
+	cacheSize  int     // NewService: 0 = default 128
+	shards     int     // NewService: 0 = GOMAXPROCS
 }
 
 func defaultSettings() settings {
@@ -91,4 +93,17 @@ func WithNoise(enabled bool) Option {
 // input-aware engine.
 func WithInputScale(scale float64) Option {
 	return func(s *settings) { s.inputScale = scale }
+}
+
+// WithCacheSize bounds NewService's recommendation cache (LRU entries;
+// default 128). Configure and ConfigureClasses ignore it.
+func WithCacheSize(n int) Option {
+	return func(s *settings) { s.cacheSize = n }
+}
+
+// WithShards sets how many Runners NewService pools per cached entry for
+// concurrent Evaluate/Validate (default GOMAXPROCS). Configure and
+// ConfigureClasses ignore it.
+func WithShards(n int) Option {
+	return func(s *settings) { s.shards = n }
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Doc gate: every ```go fenced block in README.md must be a complete
+# program that builds against this module. Extracts each block into a
+# throwaway package directory inside the repo (so `aarc` imports resolve)
+# and compiles it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+root=$(mktemp -d .readme-check.XXXXXX)
+trap 'rm -rf "$root"' EXIT
+
+awk -v root="$root" '
+  /^```go$/ { n++; d = sprintf("%s/block%02d", root, n); system("mkdir -p " d); f = d "/main.go"; next }
+  /^```/    { f = ""; next }
+  f         { print > f }
+' README.md
+
+if [ ! -d "$root/block01" ]; then
+  echo "check_readme: no \`\`\`go blocks found in README.md" >&2
+  exit 1
+fi
+
+status=0
+for d in "$root"/block*/; do
+  if ! go build -o /dev/null "./$d"; then
+    echo "check_readme: README.md block in $d does not build" >&2
+    status=1
+  fi
+done
+exit $status

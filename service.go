@@ -1,0 +1,62 @@
+package aarc
+
+import (
+	"net/http"
+
+	"aarc/internal/service"
+	"aarc/internal/workflow"
+)
+
+// The serving layer re-exported through the facade: a long-lived Service
+// that answers Configure/Dispatch requests from a fingerprint-keyed
+// recommendation cache (one search per unique workload, singleflight under
+// concurrency) and evaluates configured workflows on a sharded runner
+// pool. cmd/aarcd is this service behind HTTP; NewServiceHandler mounts
+// the same API inside another server.
+type (
+	// Service is the long-lived serving layer: cache + singleflight +
+	// sharded runner pools. Safe for concurrent use.
+	Service = service.Service
+	// ServiceRecommendation is the serializable, cacheable outcome of one
+	// configuration search as the service returns it.
+	ServiceRecommendation = service.Recommendation
+	// ServiceRequest carries the per-request overrides of the service's
+	// Configure and Dispatch.
+	ServiceRequest = service.RequestOptions
+	// ServiceStats is a snapshot of the service's cache counters.
+	ServiceStats = service.Stats
+	// DispatchResult is the outcome of one input-aware dispatch: the input
+	// class and its pre-searched configuration.
+	DispatchResult = service.DispatchResult
+)
+
+// NewService builds the serving layer with the same functional options as
+// Configure (WithMethod, WithSeed, WithHostCores, WithNoise, WithSLO,
+// WithInputScale) plus the service-specific WithCacheSize and WithShards.
+// A WithBudget budget becomes the server-side cap: requests may tighten
+// it, never exceed it.
+func NewService(opts ...Option) *Service {
+	s := newSettings(opts)
+	return service.New(service.Config{
+		Method:       s.method,
+		Seed:         s.seed,
+		HostCores:    s.hostCores,
+		Noise:        s.noise,
+		InputScale:   s.inputScale,
+		SLOMS:        s.sloMS,
+		MaxSamples:   s.maxSamples,
+		MaxSimCostMS: s.maxSimMS,
+		CacheSize:    s.cacheSize,
+		Shards:       s.shards,
+	})
+}
+
+// NewServiceHandler mounts the service's HTTP API (the one cmd/aarcd
+// serves: /healthz, /v1/methods, /v1/configure, /v1/dispatch,
+// /v1/evaluate) for embedding in another http.Server.
+func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }
+
+// SpecFingerprint returns the content-addressed identity of a workflow
+// definition: "sha256:<hex>" over its canonical JSON. The serving layer
+// keys its cache on this fingerprint combined with the search options.
+func SpecFingerprint(spec *Spec) (string, error) { return workflow.Fingerprint(spec) }

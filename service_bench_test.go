@@ -1,0 +1,143 @@
+// Serving-layer benchmarks behind EXPERIMENTS.md §"Serving". Cold measures
+// a full search per request (distinct fingerprints); CacheHit measures the
+// steady-state hot path (same fingerprint, parallel clients); the load
+// loop reports p50/p99 cache-hit latency over the HTTP handler.
+//
+//	go test -bench=BenchmarkServiceConfigure -benchtime=100x
+package aarc_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aarc"
+)
+
+func benchService(b *testing.B) *aarc.Service {
+	b.Helper()
+	return aarc.NewService(
+		aarc.WithSeed(benchSeed),
+		aarc.WithCacheSize(4096),
+	)
+}
+
+func benchSpec(b *testing.B) *aarc.Spec {
+	b.Helper()
+	spec, err := aarc.Workload("chatbot")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spec
+}
+
+// BenchmarkServiceConfigure compares the two regimes of the serving layer
+// on the Chatbot workload with the default AARC search.
+func BenchmarkServiceConfigure(b *testing.B) {
+	b.Run("Cold", func(b *testing.B) {
+		svc := benchService(b)
+		spec := benchSpec(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// A fresh seed per iteration is a fresh fingerprint: every
+			// request pays a full search.
+			seed := uint64(i + 1)
+			_, hit, err := svc.Configure(context.Background(), spec, aarc.ServiceRequest{Seed: &seed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if hit {
+				b.Fatal("cold iteration hit the cache")
+			}
+		}
+	})
+	b.Run("CacheHit", func(b *testing.B) {
+		svc := benchService(b)
+		spec := benchSpec(b)
+		if _, _, err := svc.Configure(context.Background(), spec, aarc.ServiceRequest{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				_, hit, err := svc.Configure(context.Background(), spec, aarc.ServiceRequest{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !hit {
+					b.Fatal("expected a cache hit")
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkServiceHTTPLoad drives the full HTTP handler with a small load
+// loop — 8 concurrent clients, one shared fingerprint after the first
+// request — and reports cache-hit latency percentiles alongside the
+// aggregate request rate.
+func BenchmarkServiceHTTPLoad(b *testing.B) {
+	svc := benchService(b)
+	ts := httptest.NewServer(aarc.NewServiceHandler(svc))
+	defer ts.Close()
+	body := `{"workload": "chatbot"}`
+	post := func() error {
+		resp, err := http.Post(ts.URL+"/v1/configure", "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err := post(); err != nil { // prime the cache (the one cold search)
+		b.Fatal(err)
+	}
+
+	const clients = 8
+	var mu sync.Mutex
+	latencies := make([]time.Duration, 0, b.N)
+	work := make(chan struct{})
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				t0 := time.Now()
+				if err := post(); err != nil {
+					b.Error(err)
+					return
+				}
+				d := time.Since(t0)
+				mu.Lock()
+				latencies = append(latencies, d)
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < b.N; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if n := len(latencies); n > 0 {
+		b.ReportMetric(float64(n)/elapsed.Seconds(), "req/s")
+		b.ReportMetric(float64(latencies[n/2].Microseconds()), "p50-µs")
+		b.ReportMetric(float64(latencies[n*99/100].Microseconds()), "p99-µs")
+	}
+}
