@@ -96,6 +96,12 @@ func Methods() []string { return search.Methods() }
 // its own Evaluator.
 func NewSearcher(name string, seed uint64) (Searcher, error) { return search.New(name, seed) }
 
+// MethodVersion returns a registered method's implementation version.
+// The serving layer folds it into recommendation fingerprints, so a
+// version bump self-invalidates every cached — including persisted —
+// recommendation the previous implementation produced.
+func MethodVersion(name string) (int, error) { return search.Version(name) }
+
 // DefaultVideoClasses returns the light / middle / heavy input classes of
 // the paper's Video Analysis experiment.
 func DefaultVideoClasses() []InputClass { return inputaware.DefaultVideoClasses() }

@@ -132,7 +132,9 @@ func main() {
 	}
 }
 
-// methodList renders the registry: one "name  DisplayName" line per method.
+// methodList renders the registry: one "name  vN  DisplayName" line per
+// method (the version is the implementation version the serving layer
+// folds into recommendation fingerprints).
 func methodList() string {
 	out := ""
 	for _, m := range aarc.Methods() {
@@ -140,7 +142,11 @@ func methodList() string {
 		if err != nil {
 			continue
 		}
-		out += fmt.Sprintf("%-8s %s\n", m, s.Name())
+		v, err := aarc.MethodVersion(m)
+		if err != nil {
+			continue
+		}
+		out += fmt.Sprintf("%-8s v%-3d %s\n", m, v, s.Name())
 	}
 	return out
 }

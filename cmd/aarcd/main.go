@@ -7,15 +7,24 @@
 //
 //	aarcd                              # listen on :8080 with defaults
 //	aarcd -addr :9090 -max-samples 200 # cap server-side search work
+//	aarcd -cache-dir /var/lib/aarc     # durable cache: warm restarts
 //
-// Endpoints (see DESIGN.md §"Serving layer" and the README for curl
+// With -cache-dir the recommendation store is tiered — a bounded memory
+// tier over one-file-per-fingerprint disk storage, written through on
+// every search and warmed back into memory on start — so a restarted
+// daemon answers its predecessor's fingerprints as byte-identical cache
+// hits without re-searching.
+//
+// Endpoints (see DESIGN.md §"Storage tiers" and the README for curl
 // examples):
 //
-//	GET  /healthz       liveness + cache stats
-//	GET  /v1/methods    the search method registry
-//	POST /v1/configure  {"workload":"chatbot"} or {"spec":{...}} -> recommendation
-//	POST /v1/dispatch   {"workload":"video-analysis","scale":1.4} -> class + config
-//	POST /v1/evaluate   {"fingerprint":"sha256:...","runs":10} -> what-if runs
+//	GET    /healthz                 liveness + cache/store stats
+//	GET    /v1/methods              the search method registry (+versions)
+//	POST   /v1/configure            {"workload":"chatbot"} or {"spec":{...}} -> recommendation
+//	GET    /v1/recommendation/{fp}  fingerprint-addressed fast path (no spec body)
+//	DELETE /v1/recommendation/{fp}  explicit invalidation across all tiers
+//	POST   /v1/dispatch             {"workload":"video-analysis","scale":1.4} -> class + config
+//	POST   /v1/evaluate             {"fingerprint":"sha256:...","runs":10} -> what-if runs
 package main
 
 import (
@@ -42,19 +51,21 @@ func main() {
 		seed       = flag.Uint64("seed", 42, "default simulator+searcher seed")
 		hostCores  = flag.Float64("cores", 96, "host CPU capacity shared by concurrent containers")
 		noNoise    = flag.Bool("no-noise", false, "disable the simulator's measurement noise")
-		cacheSize  = flag.Int("cache-size", 128, "max cached recommendations/engines (LRU)")
+		cacheSize  = flag.Int("cache-size", 128, "max in-memory recommendations/engines (LRU)")
+		cacheDir   = flag.String("cache-dir", "", "durable recommendation store directory (empty = memory only)")
 		shards     = flag.Int("shards", 0, "runners per entry's evaluation pool (0 = GOMAXPROCS)")
 		maxSamples = flag.Int("max-samples", 0, "server-side per-search sample cap (0 = unlimited)")
 		maxSimMS   = flag.Float64("max-sim-cost-ms", 0, "server-side simulated-time cap per search (0 = unlimited)")
 	)
 	flag.Parse()
 
-	svc := aarc.NewService(
+	svc, err := aarc.NewService(
 		aarc.WithMethod(*method),
 		aarc.WithSeed(*seed),
 		aarc.WithHostCores(*hostCores),
 		aarc.WithNoise(!*noNoise),
 		aarc.WithCacheSize(*cacheSize),
+		aarc.WithCacheDir(*cacheDir),
 		aarc.WithShards(*shards),
 		aarc.WithBudget(aarc.Budget{
 			MaxSamples: *maxSamples,
@@ -63,6 +74,12 @@ func main() {
 			MaxSimCost: time.Duration(*maxSimMS * float64(time.Millisecond)),
 		}),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Durable tiers are written through at Put time; Close only releases
+	// the store (there is no persistence step to lose on SIGKILL).
+	defer svc.Close()
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -79,7 +96,11 @@ func main() {
 	if *shards > 0 {
 		shardsDesc = strconv.Itoa(*shards)
 	}
-	log.Printf("serving on %s (method=%s cache=%d shards=%s)", *addr, *method, *cacheSize, shardsDesc)
+	stats := svc.Stats()
+	if *cacheDir != "" {
+		log.Printf("durable store %s: warmed %d entries from %s", stats.Store, stats.Tiers["memory"], *cacheDir)
+	}
+	log.Printf("serving on %s (method=%s store=%s cache=%d shards=%s)", *addr, *method, stats.Store, *cacheSize, shardsDesc)
 
 	select {
 	case err := <-errc:

@@ -15,13 +15,17 @@ import (
 // through the public facade with a server-side budget, as main() does —
 // end to end over HTTP.
 func TestDaemonSurface(t *testing.T) {
-	svc := aarc.NewService(
+	svc, err := aarc.NewService(
 		aarc.WithMethod("aarc"),
 		aarc.WithSeed(42),
 		aarc.WithHostCores(96),
 		aarc.WithCacheSize(16),
 		aarc.WithBudget(aarc.Budget{MaxSamples: 30}),
 	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
 	ts := httptest.NewServer(aarc.NewServiceHandler(svc))
 	defer ts.Close()
 
@@ -75,5 +79,80 @@ func TestDaemonSurface(t *testing.T) {
 		} else if string(first) != string(b) {
 			t.Error("cache hit body differs from miss body")
 		}
+	}
+}
+
+// TestWarmRestartOverCacheDir drives the daemon's durable-store shape
+// through the public facade: a second service over the same -cache-dir
+// directory (a "restarted daemon") must answer the first one's request
+// as a byte-identical cache hit and serve the fingerprint GET fast path.
+func TestWarmRestartOverCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	newSvc := func() *aarc.Service {
+		svc, err := aarc.NewService(
+			aarc.WithCacheDir(dir),
+			aarc.WithCacheSize(16),
+			aarc.WithBudget(aarc.Budget{MaxSamples: 20}),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+	post := func(ts *httptest.Server) (*http.Response, []byte) {
+		resp, err := http.Post(ts.URL+"/v1/configure", "application/json",
+			strings.NewReader(`{"workload": "chatbot"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, b
+	}
+
+	svc1 := newSvc()
+	ts1 := httptest.NewServer(aarc.NewServiceHandler(svc1))
+	resp1, body1 := post(ts1)
+	if got := resp1.Header.Get("X-Aarc-Cache"); got != "miss" {
+		t.Fatalf("first-process configure header = %q, want miss", got)
+	}
+	var rec struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal(body1, &rec); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	if err := svc1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restart: fresh service, same directory.
+	svc2 := newSvc()
+	defer svc2.Close()
+	ts2 := httptest.NewServer(aarc.NewServiceHandler(svc2))
+	defer ts2.Close()
+	resp2, body2 := post(ts2)
+	if got := resp2.Header.Get("X-Aarc-Cache"); got != "hit" {
+		t.Errorf("restarted configure header = %q, want hit", got)
+	}
+	if string(body1) != string(body2) {
+		t.Error("restarted configure body differs from the original")
+	}
+
+	resp3, err := http.Get(ts2.URL + "/v1/recommendation/" + rec.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body3, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("fingerprint GET after restart: status %d", resp3.StatusCode)
+	}
+	if string(body3) != string(body1) {
+		t.Error("fingerprint GET body differs from the original search body")
 	}
 }

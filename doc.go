@@ -32,11 +32,19 @@
 //
 // For long-lived serving, NewService builds the caching layer behind the
 // aarcd daemon: Configure and Dispatch requests are answered from a
-// bounded LRU keyed by content-addressed fingerprints (SpecFingerprint),
+// pluggable recommendation Store keyed by content-addressed fingerprints
+// (SpecFingerprint plus search options and the method's implementation
+// version, so stale entries self-invalidate on a version bump),
 // concurrent requests for the same workload share one search, and
-// Validate/Evaluate run on a sharded runner pool. NewServiceHandler
-// mounts the same HTTP API cmd/aarcd serves (/v1/configure, /v1/dispatch,
-// /v1/evaluate, /v1/methods, /healthz).
+// Validate/Evaluate run on a sharded runner pool. The storage layer is
+// swappable: the default is a bounded in-memory LRU (NewMemoryStore),
+// WithCacheDir tiers it over durable disk storage (warm restarts with
+// byte-identical hits), and WithStore accepts any Store implementation.
+// NewServiceHandler mounts the same HTTP API cmd/aarcd serves
+// (/v1/configure, /v1/recommendation/{fingerprint} — the
+// fingerprint-addressed fast path, GET to skip spec canonicalization
+// entirely and DELETE to invalidate — /v1/dispatch, /v1/evaluate,
+// /v1/methods, /healthz).
 //
 // Start with the examples, which use only this public API:
 //

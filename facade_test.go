@@ -222,7 +222,10 @@ func TestSpecFingerprintThroughFacade(t *testing.T) {
 }
 
 func TestNewServiceCachesAcrossCalls(t *testing.T) {
-	svc := aarc.NewService(aarc.WithBudget(aarc.Budget{MaxSamples: 20}))
+	svc, err := aarc.NewService(aarc.WithBudget(aarc.Budget{MaxSamples: 20}))
+	if err != nil {
+		t.Fatal(err)
+	}
 	spec, err := aarc.Workload("chatbot")
 	if err != nil {
 		t.Fatal(err)

@@ -11,8 +11,12 @@ import (
 	"aarc/internal/search"
 )
 
+// Version is the BO implementation version folded into serving-layer
+// fingerprints; bump on any result-affecting change.
+const Version = 1
+
 func init() {
-	search.Register("bo", func(seed uint64) search.Searcher {
+	search.Register("bo", Version, func(seed uint64) search.Searcher {
 		opts := DefaultOptions()
 		opts.Seed = seed
 		return New(opts)

@@ -14,8 +14,12 @@ import (
 	"aarc/internal/search"
 )
 
+// Version is the MAFF implementation version folded into serving-layer
+// fingerprints; bump on any result-affecting change.
+const Version = 1
+
 func init() {
-	search.Register("maff", func(seed uint64) search.Searcher {
+	search.Register("maff", Version, func(seed uint64) search.Searcher {
 		return New(DefaultOptions())
 	})
 }

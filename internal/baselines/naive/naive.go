@@ -14,11 +14,15 @@ import (
 	"aarc/internal/search"
 )
 
+// Version is the naive baselines' implementation version folded into
+// serving-layer fingerprints; bump on any result-affecting change.
+const Version = 1
+
 func init() {
-	search.Register("random", func(seed uint64) search.Searcher {
+	search.Register("random", Version, func(seed uint64) search.Searcher {
 		return &Random{Budget: 100, Seed: seed}
 	})
-	search.Register("grid", func(seed uint64) search.Searcher {
+	search.Register("grid", Version, func(seed uint64) search.Searcher {
 		return &UniformGrid{CPUPoints: 8, MemPoints: 8}
 	})
 }

@@ -9,8 +9,14 @@ import (
 	"aarc/internal/search"
 )
 
+// Version is the AARC implementation version folded into serving-layer
+// fingerprints. Bump it when a change alters which samples the search
+// takes or which assignment it returns: cached recommendations from the
+// old implementation then self-invalidate.
+const Version = 1
+
 func init() {
-	search.Register("aarc", func(seed uint64) search.Searcher {
+	search.Register("aarc", Version, func(seed uint64) search.Searcher {
 		return New(DefaultOptions())
 	})
 }

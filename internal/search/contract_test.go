@@ -38,6 +38,30 @@ func TestRegistryHasAllBuiltins(t *testing.T) {
 	}
 }
 
+func TestRegistryVersions(t *testing.T) {
+	// Every registered method carries an implementation version >= 1: the
+	// serving layer folds it into recommendation fingerprints, so a
+	// missing or zero version would silently merge distinct
+	// implementations into one cache identity.
+	for _, m := range search.Methods() {
+		v, err := search.Version(m)
+		if err != nil {
+			t.Errorf("Version(%q): %v", m, err)
+			continue
+		}
+		if v < 1 {
+			t.Errorf("Version(%q) = %d, want >= 1", m, v)
+		}
+	}
+	// Case-insensitive like New.
+	if v, err := search.Version("AARC"); err != nil || v < 1 {
+		t.Errorf("Version(AARC) = %d, %v", v, err)
+	}
+	if _, err := search.Version("nope"); err == nil {
+		t.Error("Version of an unknown method did not error")
+	}
+}
+
 func TestSearchersHonorPreCancelledContext(t *testing.T) {
 	spec := testutil.ChainSpec(60_000)
 	ctx, cancel := context.WithCancel(context.Background())

@@ -18,15 +18,19 @@ import (
 // The HTTP surface of the serving layer, mounted by cmd/aarcd and testable
 // through net/http/httptest:
 //
-//	GET  /healthz       liveness + cache stats
-//	GET  /v1/methods    the search method registry
-//	POST /v1/configure  spec+options -> Recommendation (cache-aware)
-//	POST /v1/dispatch   input-aware request -> class + configuration
-//	POST /v1/evaluate   what-if runs against a configured fingerprint
+//	GET    /healthz                    liveness + cache/store stats
+//	GET    /v1/methods                 the search method registry (+versions)
+//	POST   /v1/configure               spec+options -> Recommendation (cache-aware)
+//	GET    /v1/recommendation/{fp}     fingerprint-addressed fast path (no spec body)
+//	DELETE /v1/recommendation/{fp}     explicit invalidation across all store tiers
+//	POST   /v1/dispatch                input-aware request -> class + configuration
+//	POST   /v1/evaluate                what-if runs against a configured fingerprint
 //
 // Configure and Dispatch responses carry an "X-Aarc-Cache: hit|miss"
-// header; the body bytes for one fingerprint are identical either way, so
-// clients may byte-compare responses.
+// header; the body bytes for one fingerprint are identical either way —
+// and identical to the fingerprint GET — so clients may byte-compare
+// responses. The GET path never canonicalizes a spec: it is a store
+// lookup, nothing more, and 404s rather than searching.
 
 // maxRequestBody bounds request JSON (a spec with thousands of nodes fits
 // comfortably; this guards against unbounded uploads, not real use).
@@ -48,12 +52,16 @@ func NewHandler(s *Service) http.Handler {
 	type method struct {
 		Name    string `json:"name"`
 		Display string `json:"display"`
+		Version int    `json:"version"`
 	}
 	var methods []method
 	for _, name := range s.Methods() {
 		m := method{Name: name, Display: name}
 		if sr, err := search.New(name, 0); err == nil {
 			m.Display = sr.Name()
+		}
+		if v, err := search.Version(name); err == nil {
+			m.Version = v
 		}
 		methods = append(methods, m)
 	}
@@ -77,6 +85,26 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		writeCached(w, body, hit)
+	})
+	mux.HandleFunc("GET /v1/recommendation/{fp}", func(w http.ResponseWriter, r *http.Request) {
+		body, err := s.RecommendationJSON(r.PathValue("fp"))
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeCached(w, body, true)
+	})
+	mux.HandleFunc("DELETE /v1/recommendation/{fp}", func(w http.ResponseWriter, r *http.Request) {
+		existed, err := s.Invalidate(r.PathValue("fp"))
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		if !existed {
+			writeError(w, http.StatusNotFound, ErrUnknownFingerprint)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("POST /v1/dispatch", func(w http.ResponseWriter, r *http.Request) {
 		var req dispatchRequest

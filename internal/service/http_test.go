@@ -16,7 +16,7 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
 	t.Helper()
-	svc := stubService(cfg)
+	svc := stubService(t, cfg)
 	ts := httptest.NewServer(NewHandler(svc))
 	t.Cleanup(ts.Close)
 	return svc, ts
@@ -254,4 +254,131 @@ func TestHTTPMethodsAndHealthz(t *testing.T) {
 		t.Errorf("healthz = %s", b)
 	}
 	_ = svc
+}
+
+func TestHTTPFingerprintGetAndDelete(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	before := stubSearches.Load()
+
+	// Configure once to learn the fingerprint.
+	_, b := postJSON(t, ts.URL+"/v1/configure", fmt.Sprintf(`{"spec": %s}`, specBody(t, 0)))
+	var rec Recommendation
+	if err := json.Unmarshal(b, &rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fast path: no spec body, no canonicalization, byte-identical
+	// response, always a hit.
+	resp, err := http.Get(ts.URL + "/v1/recommendation/" + rec.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fingerprint GET status %d: %s", resp.StatusCode, got)
+	}
+	if h := resp.Header.Get("X-Aarc-Cache"); h != "hit" {
+		t.Errorf("fingerprint GET cache header = %q, want hit", h)
+	}
+	if !bytes.Equal(got, b) {
+		t.Errorf("fingerprint GET body differs from configure body:\n%s\nvs\n%s", got, b)
+	}
+	if n := stubSearches.Load() - before; n != 1 {
+		t.Errorf("GET path ran %d searches, want 1 (the configure)", n)
+	}
+
+	// Unknown fingerprints 404 without searching.
+	resp, err = http.Get(ts.URL + "/v1/recommendation/sha256:unknown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown fingerprint GET status = %d, want 404", resp.StatusCode)
+	}
+
+	// DELETE invalidates: 204, then 404, then a re-configure searches again.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/recommendation/"+rec.Fingerprint, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("DELETE status = %d, want 204", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/recommendation/" + rec.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET after DELETE status = %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.DefaultClient.Do(req.Clone(req.Context()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("second DELETE status = %d, want 404", resp.StatusCode)
+	}
+	resp2, _ := postJSON(t, ts.URL+"/v1/configure", fmt.Sprintf(`{"spec": %s}`, specBody(t, 0)))
+	if h := resp2.Header.Get("X-Aarc-Cache"); h != "miss" {
+		t.Errorf("configure after DELETE cache header = %q, want miss", h)
+	}
+	_ = svc
+}
+
+func TestHTTPHealthzReportsStoreStats(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := fmt.Sprintf(`{"spec": %s}`, specBody(t, 0))
+	postJSON(t, ts.URL+"/v1/configure", body)
+	postJSON(t, ts.URL+"/v1/configure", body)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var h struct {
+		Status string `json:"status"`
+		Stats  Stats  `json:"stats"`
+	}
+	if err := json.Unmarshal(b, &h); err != nil {
+		t.Fatal(err)
+	}
+	st := h.Stats
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("healthz counters = %+v, want 1 hit / 1 miss: %s", st, b)
+	}
+	if st.Store != "memory" || st.Tiers["memory"] != 1 || st.Entries != 1 {
+		t.Errorf("healthz store stats = %+v, want memory kind with 1 entry: %s", st, b)
+	}
+}
+
+func TestHTTPMethodsIncludeVersions(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/methods")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var m struct {
+		Methods []struct {
+			Name    string `json:"name"`
+			Version int    `json:"version"`
+		} `json:"methods"`
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, mm := range m.Methods {
+		if mm.Version < 1 {
+			t.Errorf("method %q reports version %d, want >= 1: %s", mm.Name, mm.Version, b)
+		}
+	}
 }

@@ -2,10 +2,13 @@ package service
 
 import "container/list"
 
-// lruCache is a bounded least-recently-used cache mapping fingerprints to
-// cache entries. It is not safe for concurrent use: the Service guards it
-// with its own mutex (the cache is touched only briefly — searches run
-// outside the lock, coordinated by the singleflight group).
+// lruCache is a bounded least-recently-used map for the service's
+// process-private runtime state: runner pools and dispatch engines,
+// keyed by fingerprint. (Recommendation storage itself lives behind the
+// store.Store contract — internal/store carries the LRU that used to be
+// here.) It is not safe for concurrent use: the Service guards it with
+// its own mutex, held only briefly — searches and evaluations run
+// outside the lock.
 type lruCache struct {
 	capacity int
 	order    *list.List // front = most recently used
@@ -18,6 +21,9 @@ type lruItem struct {
 }
 
 func newLRUCache(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
 	return &lruCache{
 		capacity: capacity,
 		order:    list.New(),
@@ -52,6 +58,14 @@ func (c *lruCache) add(key string, val any) (evicted string, didEvict bool) {
 	k := oldest.Value.(*lruItem).key
 	delete(c.items, k)
 	return k, true
+}
+
+// remove drops key if present.
+func (c *lruCache) remove(key string) {
+	if el, ok := c.items[key]; ok {
+		c.order.Remove(el)
+		delete(c.items, key)
+	}
 }
 
 func (c *lruCache) len() int { return c.order.Len() }

@@ -2,30 +2,41 @@
 // searchers: the §IV-D online engine shape — dispatch incoming work to
 // pre-searched configurations — generalized to every workflow.
 //
-// A Service owns three things:
+// A Service owns four things:
 //
 //   - a content-addressed identity for work: the cache key is a SHA-256
 //     over the spec's canonical JSON (workflow.CanonicalJSON), the search
 //     options' canonical JSON (search.Options.CanonicalJSON) and the
-//     engine identity (method, seed, host cores, noise, input scale, and —
-//     for dispatch — the input classes), so byte-different requests that
-//     describe the same search share one entry;
-//   - a bounded LRU recommendation cache with singleflight admission: N
-//     concurrent requests for the same key run exactly one search, and a
-//     cache hit answers without constructing a Runner or Searcher at all;
-//   - a sharded runner pool per cached entry for the post-configuration
-//     hot path (Validate / Evaluate): Runners are not concurrency-safe
-//     (one-runner-per-goroutine rule, DESIGN.md §3), so the pool holds one
-//     independently-seeded Runner per shard behind its own mutex and
-//     spreads callers round-robin — concurrent evaluations contend only
-//     when they land on the same shard.
+//     engine identity (method, the method's registered implementation
+//     version, seed, host cores, noise, input scale, and — for dispatch —
+//     the input classes), so byte-different requests that describe the
+//     same search share one entry, and bumping a method's version orphans
+//     every stale recommendation it ever produced;
+//   - a pluggable recommendation Store (internal/store) behind
+//     singleflight admission: N concurrent requests for the same key run
+//     exactly one search, and a store hit answers without constructing a
+//     Runner or Searcher at all. The store holds serialized bytes plus
+//     enough metadata (canonical spec, runner options) that a different
+//     process — via the disk store — can serve and even evaluate entries
+//     it never searched;
+//   - a fingerprint-addressed fast path: clients that remember their
+//     fingerprint call RecommendationJSON (GET /v1/recommendation/{fp})
+//     and skip spec decoding, canonicalization and hashing entirely;
+//     Invalidate (DELETE) is the explicit eviction door;
+//   - a sharded runner pool per configured fingerprint for the
+//     post-configuration hot path (Validate / Evaluate): Runners are not
+//     concurrency-safe (one-runner-per-goroutine rule, DESIGN.md §3), so
+//     the pool holds one independently-seeded Runner per shard behind its
+//     own mutex. Pools are process-private runtime state, rebuilt on
+//     demand from the store's metadata after a restart.
 //
 // Searches run detached from the requesting client's context
 // (context.WithoutCancel): a shared cache entry must not be poisoned by
 // whichever client happens to disconnect first. Bound server-side work
 // with Config.MaxSamples / MaxSimCostMS instead; a budget-exhausted search
 // is a normal stop and its partial recommendation is cached like any
-// other. Failed searches are never cached — the next request retries.
+// other. Failed searches never reach the store — no tier sees a write —
+// so the next request retries.
 package service
 
 import (
@@ -42,6 +53,7 @@ import (
 	"aarc/internal/inputaware"
 	"aarc/internal/resources"
 	"aarc/internal/search"
+	"aarc/internal/store"
 	"aarc/internal/workflow"
 )
 
@@ -57,9 +69,18 @@ type Config struct {
 	InputScale   float64 // default input scale; 0 means 1.0
 	SLOMS        float64 // default SLO override; 0 keeps each spec's SLO
 	MaxSamples   int     // server-side sample cap per search; 0 = unlimited
-	MaxSimCostMS float64 // server-side simulated-time cap; 0 = unlimited
-	CacheSize    int     // max cached entries; default 128
-	Shards       int     // runners per entry's pool; default GOMAXPROCS
+	MaxSimCostMS float64 // server-side simulated-time cap per search; 0 = unlimited
+	CacheSize    int     // max in-memory entries; default 128
+	Shards       int     // runners per fingerprint's pool; default GOMAXPROCS
+
+	// CacheDir, when set (and Store is nil), stores recommendations in a
+	// tiered store: a CacheSize-bounded memory tier over a durable disk
+	// tier rooted here, warmed from disk on construction. Restarts serve
+	// the previous process's entries as hits.
+	CacheDir string
+	// Store, when non-nil, is used as-is (CacheSize and CacheDir are
+	// ignored). The Service takes ownership: Close closes it.
+	Store store.Store
 }
 
 // RequestOptions carries the per-request knobs of Configure and Dispatch.
@@ -89,9 +110,10 @@ type FinalResult struct {
 }
 
 // Recommendation is the serializable outcome of one configuration search,
-// as cached and served. Its JSON encoding is deterministic (struct fields
+// as stored and served. Its JSON encoding is deterministic (struct fields
 // in declaration order, string-keyed maps sorted by key), so every
-// response for one fingerprint is byte-identical.
+// response for one fingerprint is byte-identical — across processes, when
+// the store is durable.
 type Recommendation struct {
 	Fingerprint     string                 `json:"fingerprint"`
 	Workflow        string                 `json:"workflow"`
@@ -129,28 +151,37 @@ type DispatchResult struct {
 
 // Stats counts the service's cache behavior since construction.
 type Stats struct {
-	Hits      int64 `json:"hits"`      // answered from cache, no search machinery touched
-	Misses    int64 `json:"misses"`    // had to run — or wait on — a search
-	Searches  int64 `json:"searches"`  // underlying searches actually run
-	Evictions int64 `json:"evictions"` // entries dropped by the LRU bound
-	Entries   int   `json:"entries"`   // entries currently cached
+	Hits        int64          `json:"hits"`         // answered from the store, no search machinery touched
+	Misses      int64          `json:"misses"`       // had to run — or wait on — a search
+	Searches    int64          `json:"searches"`     // underlying searches actually run
+	Evictions   int64          `json:"evictions"`    // entries dropped by a capacity bound (store + engine cache)
+	StoreErrors int64          `json:"store_errors"` // store reads/writes that failed and were degraded
+	Entries     int            `json:"entries"`      // recommendations currently stored
+	Engines     int            `json:"engines"`      // dispatch engines currently cached (process-private)
+	Store       string         `json:"store"`        // store kind: memory, disk, tiered, custom
+	Tiers       map[string]int `json:"tiers"`        // per-tier entry counts
 }
 
 // Service is the long-lived serving layer. It is safe for concurrent use.
 type Service struct {
 	cfg    Config
-	mu     sync.Mutex // guards cache
-	cache  *lruCache
+	st     store.Store
 	flight flightGroup
+
+	mu      sync.Mutex
+	pools   *lruCache // fingerprint -> *entry (process-private runner pools)
+	engines *lruCache // dispatch fingerprint -> *engineEntry (not stored)
 
 	hits      atomic.Int64
 	misses    atomic.Int64
 	searches  atomic.Int64
 	evictions atomic.Int64
+	storeErrs atomic.Int64
 }
 
-// New builds a Service. Zero Config fields take the documented defaults.
-func New(cfg Config) *Service {
+// New builds a Service. Zero Config fields take the documented defaults;
+// the error is the backing store's (a memory-only service cannot fail).
+func New(cfg Config) (*Service, error) {
 	if cfg.Method == "" {
 		cfg.Method = "aarc"
 	}
@@ -160,8 +191,31 @@ func New(cfg Config) *Service {
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
-	return &Service{cfg: cfg, cache: newLRUCache(cfg.CacheSize)}
+	st := cfg.Store
+	if st == nil {
+		if cfg.CacheDir != "" {
+			disk, err := store.OpenDisk(cfg.CacheDir)
+			if err != nil {
+				return nil, err
+			}
+			tiered := store.NewTiered(store.NewMemory(cfg.CacheSize), disk)
+			tiered.Warm(cfg.CacheSize)
+			st = tiered
+		} else {
+			st = store.NewMemory(cfg.CacheSize)
+		}
+	}
+	return &Service{
+		cfg:     cfg,
+		st:      st,
+		pools:   newLRUCache(cfg.CacheSize),
+		engines: newLRUCache(cfg.CacheSize),
+	}, nil
 }
+
+// Close releases the backing store (flushing nothing: durable tiers are
+// written through at Put time, so shutdown has no persistence step).
+func (s *Service) Close() error { return s.st.Close() }
 
 // Methods lists the registered search methods, sorted.
 func (s *Service) Methods() []string { return search.Methods() }
@@ -169,23 +223,48 @@ func (s *Service) Methods() []string { return search.Methods() }
 // Stats returns a snapshot of the cache counters.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
-	entries := s.cache.len()
+	engines := s.engines.len()
 	s.mu.Unlock()
+	ss := store.StatsOf(s.st)
 	return Stats{
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Searches:  s.searches.Load(),
-		Evictions: s.evictions.Load(),
-		Entries:   entries,
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Searches:    s.searches.Load(),
+		Evictions:   s.evictions.Load() + ss.Evictions,
+		StoreErrors: s.storeErrs.Load(),
+		Entries:     s.st.Len(),
+		Engines:     engines,
+		Store:       ss.Kind,
+		Tiers:       ss.Tiers,
 	}
 }
 
-// entry is one cached recommendation plus everything needed to evaluate
-// against it after the search: the spec, the runner options the search
-// used, and a lazily-built sharded runner pool.
+// entryMeta is the sidecar persisted with every stored recommendation:
+// everything a process needs to rebuild an evaluation runner pool for a
+// fingerprint it never searched itself.
+type entryMeta struct {
+	Spec       json.RawMessage `json:"spec"` // canonical spec JSON
+	HostCores  float64         `json:"host_cores"`
+	Noise      bool            `json:"noise"`
+	Seed       uint64          `json:"seed"`
+	InputScale float64         `json:"input_scale"`
+}
+
+func (m entryMeta) runnerOptions() workflow.RunnerOptions {
+	return workflow.RunnerOptions{
+		HostCores:  m.HostCores,
+		Noise:      m.Noise,
+		Seed:       m.Seed,
+		InputScale: m.InputScale,
+	}
+}
+
+// entry is the process-private runtime state behind one configured
+// fingerprint: the decoded recommendation plus a lazily-built sharded
+// runner pool. It is rebuilt from the store's entryMeta when absent
+// (after a restart, a pool-cache eviction, or a cross-process share).
 type entry struct {
 	rec   *Recommendation
-	body  []byte // rec's JSON, served byte-identically on every hit
 	spec  *workflow.Spec
 	ropts workflow.RunnerOptions
 
@@ -202,7 +281,9 @@ func (e *entry) runnerPool(shards int) (*runnerPool, error) {
 }
 
 // engineEntry is one cached input-aware engine (Dispatch is read-only and
-// concurrency-safe once configured).
+// concurrency-safe once configured). Engines hold live searched state per
+// class and are not serialized to the store: they are process-private and
+// re-searched after eviction or restart.
 type engineEntry struct {
 	engine *inputaware.Engine
 	spec   *workflow.Spec
@@ -211,17 +292,23 @@ type engineEntry struct {
 
 // resolved folds a request into the service defaults.
 type resolved struct {
-	method string
-	seed   uint64
-	ropts  workflow.RunnerOptions
-	sopts  search.Options
+	method  string
+	version int // the method's registered implementation version
+	seed    uint64
+	ropts   workflow.RunnerOptions
+	sopts   search.Options
 }
 
-func (s *Service) resolve(spec *workflow.Spec, ro RequestOptions) resolved {
+func (s *Service) resolve(spec *workflow.Spec, ro RequestOptions) (resolved, error) {
 	r := resolved{method: s.cfg.Method, seed: s.cfg.Seed}
 	if ro.Method != "" {
 		r.method = ro.Method
 	}
+	version, err := search.Version(r.method)
+	if err != nil {
+		return resolved{}, err
+	}
+	r.version = version
 	if ro.Seed != nil {
 		r.seed = *ro.Seed
 	}
@@ -247,7 +334,7 @@ func (s *Service) resolve(spec *workflow.Spec, ro RequestOptions) resolved {
 		MaxSamples:   capBudget(ro.MaxSamples, s.cfg.MaxSamples),
 		MaxSimCostMS: capBudgetF(ro.MaxSimCostMS, s.cfg.MaxSimCostMS),
 	}
-	return r
+	return r, nil
 }
 
 // capBudget applies the server-side cap: the request may tighten the
@@ -268,30 +355,35 @@ func capBudgetF(req, cap float64) float64 {
 
 // fingerprint builds the content-addressed cache key. classes is non-nil
 // only for dispatch keys, which must not collide with configure keys for
-// the same spec.
+// the same spec. The method's implementation version is part of the key:
+// bumping a method's registered version changes every fingerprint it
+// produces, so stale entries — including persisted ones — are simply
+// never addressed again.
 func (s *Service) fingerprint(spec *workflow.Spec, r resolved, classes []inputaware.Class) (string, error) {
 	specJSON, err := workflow.CanonicalJSON(spec)
 	if err != nil {
 		return "", err
 	}
 	key := struct {
-		Spec       json.RawMessage    `json:"spec"`
-		Search     json.RawMessage    `json:"search"`
-		Method     string             `json:"method"`
-		Seed       uint64             `json:"seed"`
-		HostCores  float64            `json:"host_cores"`
-		Noise      bool               `json:"noise"`
-		InputScale float64            `json:"input_scale"`
-		Classes    []inputaware.Class `json:"classes,omitempty"`
+		Spec          json.RawMessage    `json:"spec"`
+		Search        json.RawMessage    `json:"search"`
+		Method        string             `json:"method"`
+		MethodVersion int                `json:"method_version"`
+		Seed          uint64             `json:"seed"`
+		HostCores     float64            `json:"host_cores"`
+		Noise         bool               `json:"noise"`
+		InputScale    float64            `json:"input_scale"`
+		Classes       []inputaware.Class `json:"classes,omitempty"`
 	}{
-		Spec:       specJSON,
-		Search:     r.sopts.CanonicalJSON(),
-		Method:     r.method,
-		Seed:       r.seed,
-		HostCores:  r.ropts.HostCores,
-		Noise:      r.ropts.Noise,
-		InputScale: r.ropts.InputScale,
-		Classes:    classes,
+		Spec:          specJSON,
+		Search:        r.sopts.CanonicalJSON(),
+		Method:        r.method,
+		MethodVersion: r.version,
+		Seed:          r.seed,
+		HostCores:     r.ropts.HostCores,
+		Noise:         r.ropts.Noise,
+		InputScale:    r.ropts.InputScale,
+		Classes:       classes,
 	}
 	b, err := json.Marshal(key)
 	if err != nil {
@@ -300,109 +392,166 @@ func (s *Service) fingerprint(spec *workflow.Spec, r resolved, classes []inputaw
 	return fmt.Sprintf("sha256:%x", sha256.Sum256(b)), nil
 }
 
-// lookup reads the cache without touching the hit/miss counters.
-func (s *Service) lookup(fp string) (any, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cache.get(fp)
-}
-
-// store inserts a completed entry, counting any LRU eviction.
-func (s *Service) store(fp string, v any) {
-	s.mu.Lock()
-	_, evicted := s.cache.add(fp, v)
-	s.mu.Unlock()
-	if evicted {
-		s.evictions.Add(1)
-	}
-}
-
-// configure is the shared Configure path returning the cache entry itself.
-func (s *Service) configure(ctx context.Context, spec *workflow.Spec, ro RequestOptions) (e *entry, cacheHit bool, err error) {
-	if spec == nil {
-		return nil, false, errors.New("service: Configure with nil spec")
-	}
-	r := s.resolve(spec, ro)
-	fp, err := s.fingerprint(spec, r, nil)
+// getStore reads the store, degrading store errors to misses (a broken
+// tier must not take serving down — the search path still works).
+func (s *Service) getStore(fp string) (store.Entry, bool) {
+	e, ok, err := s.st.Get(fp)
 	if err != nil {
-		return nil, false, err
+		s.storeErrs.Add(1)
+		return store.Entry{}, false
 	}
-	if v, ok := s.lookup(fp); ok {
-		e, ok := v.(*entry)
-		if !ok {
-			return nil, false, fmt.Errorf("service: fingerprint %s is a dispatch engine, not a recommendation", fp)
-		}
+	return e, ok
+}
+
+// putStore persists a completed search. Write failures are degraded to a
+// counter: the recommendation was computed and is served regardless.
+func (s *Service) putStore(fp string, e store.Entry) {
+	if err := s.st.Put(fp, e); err != nil {
+		s.storeErrs.Add(1)
+	}
+}
+
+// putPool stashes a fingerprint's runtime entry, bounded by CacheSize.
+func (s *Service) putPool(fp string, e *entry) {
+	s.mu.Lock()
+	s.pools.add(fp, e)
+	s.mu.Unlock()
+}
+
+// configure is the shared Configure path returning the served bytes and
+// the fingerprint they live under.
+func (s *Service) configure(ctx context.Context, spec *workflow.Spec, ro RequestOptions) (fp string, body []byte, cacheHit bool, err error) {
+	if spec == nil {
+		return "", nil, false, errors.New("service: Configure with nil spec")
+	}
+	r, err := s.resolve(spec, ro)
+	if err != nil {
+		return "", nil, false, err
+	}
+	fp, err = s.fingerprint(spec, r, nil)
+	if err != nil {
+		return "", nil, false, err
+	}
+	if se, ok := s.getStore(fp); ok {
 		s.hits.Add(1)
-		return e, true, nil
+		return fp, se.Body, true, nil
 	}
 	s.misses.Add(1)
 	v, err, _ := s.flight.do(ctx, fp, func() (any, error) {
 		// Re-check under singleflight: the previous leader may have filled
-		// the cache between this caller's miss and its turn as leader.
-		if v, ok := s.lookup(fp); ok {
-			return v, nil
+		// the store between this caller's miss and its turn as leader.
+		if se, ok := s.getStore(fp); ok {
+			return se.Body, nil
 		}
-		e, err := s.runSearch(ctx, fp, spec, r)
+		e, se, err := s.runSearch(ctx, fp, spec, r)
 		if err != nil {
+			// Failed searches are never written to any tier: the store
+			// stays untouched and the next request retries.
 			return nil, err
 		}
-		s.store(fp, e)
-		return e, nil
+		s.putStore(fp, se)
+		s.putPool(fp, e)
+		return se.Body, nil
 	})
 	if err != nil {
-		return nil, false, err
+		return fp, nil, false, err
 	}
-	e, ok := v.(*entry)
-	if !ok {
-		return nil, false, fmt.Errorf("service: fingerprint %s is a dispatch engine, not a recommendation", fp)
-	}
-	return e, false, nil
+	return fp, v.([]byte), false, nil
 }
 
 // Configure returns the recommendation for (spec, options), searching at
 // most once per fingerprint: concurrent callers with the same fingerprint
-// share one search via singleflight, and later callers hit the cache
+// share one search via singleflight, and later callers hit the store
 // without constructing a Runner or Searcher. cacheHit reports whether this
-// call was answered from the cache (false for the singleflight leader and
+// call was answered from the store (false for the singleflight leader and
 // the followers that waited on it).
 //
-// The service retains spec (for the entry's lazily-built runner pool), so
-// — as with NewRunner — the caller must not mutate it afterwards. The
-// HTTP layer decodes a fresh spec per request and is unaffected.
+// The service retains spec (for the fingerprint's lazily-built runner
+// pool), so — as with NewRunner — the caller must not mutate it
+// afterwards. The HTTP layer decodes a fresh spec per request and is
+// unaffected.
 func (s *Service) Configure(ctx context.Context, spec *workflow.Spec, ro RequestOptions) (rec *Recommendation, cacheHit bool, err error) {
-	e, hit, err := s.configure(ctx, spec, ro)
+	fp, body, hit, err := s.configure(ctx, spec, ro)
 	if err != nil {
 		return nil, hit, err
 	}
-	return e.rec, hit, nil
+	// The leader stashed its decoded entry in the pools cache; hits in
+	// the same process reuse it rather than re-decoding the body.
+	s.mu.Lock()
+	v, ok := s.pools.get(fp)
+	s.mu.Unlock()
+	if ok {
+		return v.(*entry).rec, hit, nil
+	}
+	rec = new(Recommendation)
+	if err := json.Unmarshal(body, rec); err != nil {
+		return nil, hit, fmt.Errorf("service: decoding stored recommendation: %w", err)
+	}
+	return rec, hit, nil
 }
 
-// ConfigureJSON is Configure returning the entry's cached deterministic
-// JSON encoding: every response for one fingerprint — leader, follower or
-// hit — is byte-identical. Callers must not mutate the returned slice.
+// ConfigureJSON is Configure returning the stored deterministic JSON
+// encoding: every response for one fingerprint — leader, follower or hit,
+// this process or a restarted one — is byte-identical. Callers must not
+// mutate the returned slice.
 func (s *Service) ConfigureJSON(ctx context.Context, spec *workflow.Spec, ro RequestOptions) (body []byte, cacheHit bool, err error) {
-	e, hit, err := s.configure(ctx, spec, ro)
-	if err != nil {
-		return nil, hit, err
-	}
-	return e.body, hit, nil
+	_, body, cacheHit, err = s.configure(ctx, spec, ro)
+	return body, cacheHit, err
 }
 
-// runSearch performs one search and builds its cache entry. It runs
-// detached from the client's context (see the package comment).
-func (s *Service) runSearch(ctx context.Context, fp string, spec *workflow.Spec, r resolved) (*entry, error) {
+// RecommendationJSON is the fingerprint-addressed fast path: the stored
+// bytes for an already-configured fingerprint, skipping spec decoding,
+// canonicalization and hashing entirely. It returns ErrUnknownFingerprint
+// when the store has no entry (never configured, evicted, or invalidated);
+// it never starts a search. Callers must not mutate the returned slice.
+func (s *Service) RecommendationJSON(fp string) ([]byte, error) {
+	se, ok := s.getStore(fp)
+	if !ok {
+		return nil, ErrUnknownFingerprint
+	}
+	s.hits.Add(1)
+	return se.Body, nil
+}
+
+// Invalidate removes a fingerprint from every store tier and drops its
+// runner pool; existed reports whether there was an entry to remove. The
+// next Configure for the same content re-searches. Existence is checked
+// against the key index (Keys), not Get: a tiered Get would read the
+// whole body off disk and promote it into memory just to delete it.
+func (s *Service) Invalidate(fp string) (existed bool, err error) {
+	for _, k := range s.st.Keys() {
+		if k == fp {
+			existed = true
+			break
+		}
+	}
+	if err := s.st.Delete(fp); err != nil {
+		s.storeErrs.Add(1)
+		return existed, err
+	}
+	s.mu.Lock()
+	s.pools.remove(fp)
+	s.mu.Unlock()
+	return existed, nil
+}
+
+// runSearch performs one search and builds both the runtime entry and the
+// storable form. It runs detached from the client's context (see the
+// package comment). Nothing is written to the store here: persisting is
+// the caller's step, taken only on success.
+func (s *Service) runSearch(ctx context.Context, fp string, spec *workflow.Spec, r resolved) (*entry, store.Entry, error) {
 	searcher, err := search.New(r.method, r.seed)
 	if err != nil {
-		return nil, err
+		return nil, store.Entry{}, err
 	}
 	runner, err := workflow.NewRunner(spec, r.ropts)
 	if err != nil {
-		return nil, err
+		return nil, store.Entry{}, err
 	}
 	s.searches.Add(1)
 	out, err := searcher.Search(context.WithoutCancel(ctx), runner, r.sopts)
 	if err != nil {
-		return nil, err
+		return nil, store.Entry{}, err
 	}
 	rec := &Recommendation{
 		Fingerprint:     fp,
@@ -422,15 +571,63 @@ func (s *Service) runSearch(ctx context.Context, fp string, spec *workflow.Spec,
 	}
 	body, err := json.Marshal(rec)
 	if err != nil {
-		return nil, err
+		return nil, store.Entry{}, err
 	}
-	return &entry{rec: rec, body: body, spec: spec, ropts: r.ropts}, nil
+	specJSON, err := workflow.CanonicalJSON(spec)
+	if err != nil {
+		return nil, store.Entry{}, err
+	}
+	meta, err := json.Marshal(entryMeta{
+		Spec:       specJSON,
+		HostCores:  r.ropts.HostCores,
+		Noise:      r.ropts.Noise,
+		Seed:       r.ropts.Seed,
+		InputScale: r.ropts.InputScale,
+	})
+	if err != nil {
+		return nil, store.Entry{}, err
+	}
+	e := &entry{rec: rec, spec: spec, ropts: r.ropts}
+	return e, store.Entry{Body: body, Meta: meta}, nil
+}
+
+// entryFor returns the runtime entry for a configured fingerprint,
+// rebuilding it from the store's metadata when this process has none
+// (restart, pool-cache eviction, or an entry another process searched).
+func (s *Service) entryFor(fp string) (*entry, error) {
+	s.mu.Lock()
+	v, ok := s.pools.get(fp)
+	s.mu.Unlock()
+	if ok {
+		return v.(*entry), nil
+	}
+	se, ok := s.getStore(fp)
+	if !ok {
+		return nil, ErrUnknownFingerprint
+	}
+	var m entryMeta
+	if err := json.Unmarshal(se.Meta, &m); err != nil {
+		return nil, fmt.Errorf("service: stored metadata for %s is unreadable: %w", fp, err)
+	}
+	spec, err := workflow.DecodeCanonicalSpec(m.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("service: rebuilding spec for %s: %w", fp, err)
+	}
+	rec := new(Recommendation)
+	if err := json.Unmarshal(se.Body, rec); err != nil {
+		return nil, fmt.Errorf("service: decoding stored recommendation: %w", err)
+	}
+	e := &entry{rec: rec, spec: spec, ropts: m.runnerOptions()}
+	s.putPool(fp, e)
+	return e, nil
 }
 
 // Dispatch is the §IV-D online engine over the cache: it configures (or
 // reuses) one search per input class, classifies the request's analyzed
 // input scale, and returns that class's configuration. classes defaults to
-// the paper's Video Analysis classes when empty.
+// the paper's Video Analysis classes when empty. Engines are
+// process-private (they hold live searched state per class) and are
+// re-searched after eviction or a restart.
 func (s *Service) Dispatch(ctx context.Context, spec *workflow.Spec, classes []inputaware.Class, scale float64, ro RequestOptions) (res *DispatchResult, cacheHit bool, err error) {
 	if spec == nil {
 		return nil, false, errors.New("service: Dispatch with nil spec")
@@ -444,19 +641,28 @@ func (s *Service) Dispatch(ctx context.Context, spec *workflow.Spec, classes []i
 	sorted := append([]inputaware.Class(nil), classes...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Scale < sorted[j].Scale })
 
-	r := s.resolve(spec, ro)
+	r, err := s.resolve(spec, ro)
+	if err != nil {
+		return nil, false, err
+	}
 	fp, err := s.fingerprint(spec, r, sorted)
 	if err != nil {
 		return nil, false, err
 	}
 	var v any
-	if cached, ok := s.lookup(fp); ok {
+	s.mu.Lock()
+	v, ok := s.engines.get(fp)
+	s.mu.Unlock()
+	if ok {
 		s.hits.Add(1)
-		v, cacheHit = cached, true
+		cacheHit = true
 	} else {
 		s.misses.Add(1)
 		v, err, _ = s.flight.do(ctx, fp, func() (any, error) {
-			if v, ok := s.lookup(fp); ok {
+			s.mu.Lock()
+			v, ok := s.engines.get(fp)
+			s.mu.Unlock()
+			if ok {
 				return v, nil
 			}
 			searcher, err := search.New(r.method, r.seed)
@@ -469,17 +675,18 @@ func (s *Service) Dispatch(ctx context.Context, spec *workflow.Spec, classes []i
 			}
 			s.searches.Add(int64(len(sorted)))
 			e := &engineEntry{engine: engine, spec: spec, method: searcher.Name()}
-			s.store(fp, e)
+			s.mu.Lock()
+			if _, evicted := s.engines.add(fp, e); evicted {
+				s.evictions.Add(1)
+			}
+			s.mu.Unlock()
 			return e, nil
 		})
 		if err != nil {
 			return nil, false, err
 		}
 	}
-	ee, ok := v.(*engineEntry)
-	if !ok {
-		return nil, false, fmt.Errorf("service: fingerprint %s is a recommendation, not a dispatch engine", fp)
-	}
+	ee := v.(*engineEntry)
 	cls, a := ee.engine.Dispatch(inputaware.Request{Scale: scale})
 	return &DispatchResult{
 		Fingerprint: fp,
@@ -492,8 +699,9 @@ func (s *Service) Dispatch(ctx context.Context, spec *workflow.Spec, classes []i
 	}, cacheHit, nil
 }
 
-// ErrUnknownFingerprint is returned by Evaluate/Validate when the
-// fingerprint has no cached entry (never configured here, or evicted).
+// ErrUnknownFingerprint is returned by Evaluate/Validate and
+// RecommendationJSON when the fingerprint has no stored entry (never
+// configured here, evicted, or invalidated).
 var ErrUnknownFingerprint = errors.New("service: unknown fingerprint (not configured or evicted)")
 
 // MaxEvaluateRuns bounds one Evaluate/Validate call (and therefore one
@@ -507,8 +715,10 @@ const MaxEvaluateRuns = 1024
 var ErrTooManyRuns = fmt.Errorf("service: runs exceed the per-request bound %d", MaxEvaluateRuns)
 
 // Evaluate runs the workflow behind a configured fingerprint n times under
-// an arbitrary assignment (what-if probing), on the entry's sharded runner
-// pool. A nil assignment evaluates the cached recommendation itself.
+// an arbitrary assignment (what-if probing), on the fingerprint's sharded
+// runner pool. A nil assignment evaluates the stored recommendation
+// itself. Works across restarts when the store is durable: the pool is
+// rebuilt from the stored canonical spec and runner options.
 func (s *Service) Evaluate(fp string, a resources.Assignment, n int) ([]search.Result, error) {
 	if n <= 0 {
 		n = 1
@@ -516,13 +726,9 @@ func (s *Service) Evaluate(fp string, a resources.Assignment, n int) ([]search.R
 	if n > MaxEvaluateRuns {
 		return nil, ErrTooManyRuns
 	}
-	v, ok := s.lookup(fp)
-	if !ok {
-		return nil, ErrUnknownFingerprint
-	}
-	e, ok := v.(*entry)
-	if !ok {
-		return nil, fmt.Errorf("service: fingerprint %s is a dispatch engine, not a recommendation", fp)
+	e, err := s.entryFor(fp)
+	if err != nil {
+		return nil, err
 	}
 	pool, err := e.runnerPool(s.cfg.Shards)
 	if err != nil {

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"aarc/internal/perfmodel"
 	"aarc/internal/resources"
 	"aarc/internal/search"
+	"aarc/internal/store"
 	"aarc/internal/workflow"
 	"aarc/internal/workloads"
 
@@ -44,7 +46,19 @@ func (stubSearcher) Search(ctx context.Context, ev search.Evaluator, opts search
 }
 
 func init() {
-	search.Register("stub", func(seed uint64) search.Searcher { return stubSearcher{} })
+	search.Register("stub", 1, func(seed uint64) search.Searcher { return stubSearcher{} })
+	search.Register("failing", 1, func(seed uint64) search.Searcher { return failingSearcher{} })
+}
+
+// failingSearcher always errors: the regression vehicle for "failed
+// searches never reach any store tier".
+type failingSearcher struct{}
+
+func (failingSearcher) Name() string { return "Failing" }
+
+func (failingSearcher) Search(ctx context.Context, ev search.Evaluator, opts search.Options) (search.Outcome, error) {
+	stubSearches.Add(1)
+	return search.Outcome{}, errors.New("failing: search exploded")
 }
 
 // testSpec builds a tiny linear workflow whose SLO varies per variant, so
@@ -83,13 +97,19 @@ func testSpec(t testing.TB, variant int) *workflow.Spec {
 	return spec
 }
 
-func stubService(cfg Config) *Service {
+func stubService(t testing.TB, cfg Config) *Service {
+	t.Helper()
 	cfg.Method = "stub"
-	return New(cfg)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc
 }
 
 func TestConfigureSingleflightOneSearchPerFingerprint(t *testing.T) {
-	svc := stubService(Config{})
+	svc := stubService(t, Config{})
 	spec := testSpec(t, 0)
 	before := stubSearches.Load()
 
@@ -125,7 +145,7 @@ func TestConfigureSingleflightOneSearchPerFingerprint(t *testing.T) {
 }
 
 func TestConfigureDistinctSpecsSearchOnceEach(t *testing.T) {
-	svc := stubService(Config{})
+	svc := stubService(t, Config{})
 	before := stubSearches.Load()
 
 	const distinct = 8
@@ -162,7 +182,7 @@ func TestConfigureDistinctSpecsSearchOnceEach(t *testing.T) {
 }
 
 func TestConfigureCacheHitRunsNoSearch(t *testing.T) {
-	svc := stubService(Config{})
+	svc := stubService(t, Config{})
 	spec := testSpec(t, 0)
 
 	if _, hit, err := svc.Configure(context.Background(), spec, RequestOptions{}); err != nil || hit {
@@ -188,7 +208,7 @@ func TestConfigureCacheHitRunsNoSearch(t *testing.T) {
 }
 
 func TestConfigureJSONByteIdenticalAcrossHits(t *testing.T) {
-	svc := stubService(Config{})
+	svc := stubService(t, Config{})
 	spec := testSpec(t, 0)
 
 	miss, hit0, err := svc.ConfigureJSON(context.Background(), spec, RequestOptions{})
@@ -211,7 +231,7 @@ func TestConfigureJSONByteIdenticalAcrossHits(t *testing.T) {
 
 func TestLRUEvictionBoundsCache(t *testing.T) {
 	const capacity = 4
-	svc := stubService(Config{CacheSize: capacity})
+	svc := stubService(t, Config{CacheSize: capacity})
 	before := stubSearches.Load()
 
 	const distinct = 10
@@ -242,7 +262,7 @@ func TestLRUEvictionBoundsCache(t *testing.T) {
 }
 
 func TestRequestOptionsChangeFingerprint(t *testing.T) {
-	svc := stubService(Config{})
+	svc := stubService(t, Config{})
 	spec := testSpec(t, 0)
 	ctx := context.Background()
 
@@ -273,7 +293,10 @@ func TestRequestOptionsChangeFingerprint(t *testing.T) {
 }
 
 func TestServerSideBudgetCap(t *testing.T) {
-	svc := New(Config{Method: "aarc", MaxSamples: 5})
+	svc, err := New(Config{Method: "aarc", MaxSamples: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	spec, err := workloads.ByName("chatbot")
 	if err != nil {
 		t.Fatal(err)
@@ -297,7 +320,7 @@ func TestServerSideBudgetCap(t *testing.T) {
 }
 
 func TestEvaluateAndValidateOnShardedPool(t *testing.T) {
-	svc := stubService(Config{Shards: 4})
+	svc := stubService(t, Config{Shards: 4})
 	spec := testSpec(t, 0)
 	rec, _, err := svc.Configure(context.Background(), spec, RequestOptions{})
 	if err != nil {
@@ -354,7 +377,7 @@ func TestEvaluateAndValidateOnShardedPool(t *testing.T) {
 }
 
 func TestDispatchCachesEnginePerClassSet(t *testing.T) {
-	svc := stubService(Config{})
+	svc := stubService(t, Config{})
 	spec, err := workloads.ByName("video-analysis")
 	if err != nil {
 		t.Fatal(err)
@@ -401,14 +424,17 @@ func TestDispatchCachesEnginePerClassSet(t *testing.T) {
 }
 
 func TestDispatchRejectsBadScale(t *testing.T) {
-	svc := stubService(Config{})
+	svc := stubService(t, Config{})
 	if _, _, err := svc.Dispatch(context.Background(), testSpec(t, 0), nil, 0, RequestOptions{}); err == nil {
 		t.Error("Dispatch accepted scale 0")
 	}
 }
 
 func TestConfigureRealMethodThroughService(t *testing.T) {
-	svc := New(Config{Seed: 42, HostCores: 96, Noise: true, MaxSamples: 40})
+	svc, err := New(Config{Seed: 42, HostCores: 96, Noise: true, MaxSamples: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
 	spec, err := workloads.ByName("chatbot")
 	if err != nil {
 		t.Fatal(err)
@@ -428,5 +454,228 @@ func TestConfigureRealMethodThroughService(t *testing.T) {
 	}
 	if len(rec.Assignment) != len(spec.FunctionGroups()) {
 		t.Errorf("assignment covers %d groups, want %d", len(rec.Assignment), len(spec.FunctionGroups()))
+	}
+}
+
+func TestStatsReportStoreKindAndTiers(t *testing.T) {
+	svc := stubService(t, Config{})
+	spec := testSpec(t, 0)
+	ctx := context.Background()
+	if _, _, err := svc.Configure(ctx, spec, RequestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, hit, err := svc.Configure(ctx, spec, RequestOptions{}); err != nil || !hit {
+			t.Fatalf("repeat %d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	st := svc.Stats()
+	if st.Hits != 3 || st.Misses != 1 || st.Searches != 1 {
+		t.Errorf("counters = %+v, want 3 hits / 1 miss / 1 search", st)
+	}
+	if st.Store != "memory" || st.Tiers["memory"] != 1 || st.Entries != 1 {
+		t.Errorf("store stats = %+v, want kind=memory with 1 entry", st)
+	}
+	if st.StoreErrors != 0 {
+		t.Errorf("store errors = %d, want 0", st.StoreErrors)
+	}
+}
+
+func TestStatsTieredKindOverCacheDir(t *testing.T) {
+	svc := stubService(t, Config{CacheDir: t.TempDir(), CacheSize: 8})
+	if _, _, err := svc.Configure(context.Background(), testSpec(t, 0), RequestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Store != "tiered" || st.Tiers["memory"] != 1 || st.Tiers["disk"] != 1 {
+		t.Errorf("tiered stats = %+v, want memory=1 disk=1", st)
+	}
+}
+
+// spyStore records every write that reaches its tier, so tests can assert
+// at the Store boundary — not just the service surface — that failure
+// paths never touch storage.
+type spyStore struct {
+	store.Store
+	puts atomic.Int64
+}
+
+func (s *spyStore) Put(k string, e store.Entry) error {
+	s.puts.Add(1)
+	return s.Store.Put(k, e)
+}
+
+func TestFailedSearchNeverWritesAnyTier(t *testing.T) {
+	fast := &spyStore{Store: store.NewMemory(8)}
+	disk, err := store.OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := &spyStore{Store: disk}
+	svc, err := New(Config{Method: "failing", Store: store.NewTiered(fast, slow)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	spec := testSpec(t, 0)
+	for i := 0; i < 3; i++ {
+		if _, _, err := svc.Configure(context.Background(), spec, RequestOptions{}); err == nil {
+			t.Fatal("failing method returned no error")
+		}
+	}
+	if n := fast.puts.Load(); n != 0 {
+		t.Errorf("failed searches wrote %d entries to the fast tier", n)
+	}
+	if n := slow.puts.Load(); n != 0 {
+		t.Errorf("failed searches wrote %d entries to the slow tier", n)
+	}
+	if svc.Stats().Entries != 0 {
+		t.Errorf("failed searches left %d stored entries", svc.Stats().Entries)
+	}
+	// The error is not sticky: a working method on the same service stores.
+	if _, _, err := svc.Configure(context.Background(), spec, RequestOptions{Method: "stub"}); err != nil {
+		t.Fatal(err)
+	}
+	if fast.puts.Load() != 1 || slow.puts.Load() != 1 {
+		t.Errorf("successful search wrote fast=%d slow=%d times, want 1/1", fast.puts.Load(), slow.puts.Load())
+	}
+}
+
+func TestWarmRestartServesPreviousFingerprints(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(t, 0)
+	ctx := context.Background()
+
+	first := stubService(t, Config{CacheDir: dir})
+	body1, hit, err := first.ConfigureJSON(ctx, spec, RequestOptions{})
+	if err != nil || hit {
+		t.Fatalf("first process configure: hit=%v err=%v", hit, err)
+	}
+	var rec Recommendation
+	if err := json.Unmarshal(body1, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A "restarted" process over the same directory: the same request is
+	// a hit with byte-identical body and no search.
+	second := stubService(t, Config{CacheDir: dir})
+	before := stubSearches.Load()
+	body2, hit, err := second.ConfigureJSON(ctx, spec, RequestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("restarted service missed on a persisted fingerprint")
+	}
+	if string(body1) != string(body2) {
+		t.Errorf("restart changed the body:\nbefore %s\nafter  %s", body1, body2)
+	}
+	if got := stubSearches.Load() - before; got != 0 {
+		t.Errorf("restarted service ran %d searches, want 0", got)
+	}
+
+	// The fingerprint-addressed fast path works without any spec at all,
+	// and evaluation rebuilds its runner pool from the stored metadata.
+	fast, err := second.RecommendationJSON(rec.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fast) != string(body1) {
+		t.Error("fingerprint GET body differs from the original search body")
+	}
+	results, err := second.Validate(rec.Fingerprint, 3)
+	if err != nil {
+		t.Fatalf("Validate across restart: %v", err)
+	}
+	if len(results) != 3 || results[0].E2EMS <= 0 {
+		t.Errorf("restart validation results %+v", results)
+	}
+}
+
+func TestRecommendationJSONFastPathAndInvalidate(t *testing.T) {
+	svc := stubService(t, Config{})
+	spec := testSpec(t, 0)
+	ctx := context.Background()
+
+	if _, err := svc.RecommendationJSON("sha256:unknown"); err != ErrUnknownFingerprint {
+		t.Errorf("unknown fingerprint error = %v, want ErrUnknownFingerprint", err)
+	}
+	body, _, err := svc.ConfigureJSON(ctx, spec, RequestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Recommendation
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	before := stubSearches.Load()
+	got, err := svc.RecommendationJSON(rec.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(body) {
+		t.Error("fast-path bytes differ from configure bytes")
+	}
+	if stubSearches.Load() != before {
+		t.Error("fingerprint GET ran a search")
+	}
+
+	existed, err := svc.Invalidate(rec.Fingerprint)
+	if err != nil || !existed {
+		t.Fatalf("Invalidate: existed=%v err=%v", existed, err)
+	}
+	if _, err := svc.RecommendationJSON(rec.Fingerprint); err != ErrUnknownFingerprint {
+		t.Errorf("post-invalidate error = %v, want ErrUnknownFingerprint", err)
+	}
+	if existed, _ := svc.Invalidate(rec.Fingerprint); existed {
+		t.Error("second Invalidate claims the entry still existed")
+	}
+	// The next identical Configure re-searches.
+	if _, hit, err := svc.Configure(ctx, spec, RequestOptions{}); err != nil || hit {
+		t.Fatalf("post-invalidate configure: hit=%v err=%v", hit, err)
+	}
+	if got := stubSearches.Load() - before; got != 1 {
+		t.Errorf("post-invalidate configure ran %d searches, want 1", got)
+	}
+}
+
+func TestMethodVersionFoldsIntoFingerprint(t *testing.T) {
+	svc := stubService(t, Config{})
+	spec := testSpec(t, 0)
+	r, err := svc.resolve(spec, RequestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.version != 1 {
+		t.Fatalf("stub method resolved version %d, want 1", r.version)
+	}
+	fp1, err := svc.fingerprint(spec, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same request under a bumped implementation version must address
+	// a different entry: stale recommendations self-invalidate.
+	r.version = 2
+	fp2, err := svc.fingerprint(spec, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 == fp2 {
+		t.Error("bumping the method version did not change the fingerprint")
+	}
+}
+
+func TestConfigureUnknownMethodFailsFast(t *testing.T) {
+	svc := stubService(t, Config{})
+	_, _, err := svc.Configure(context.Background(), testSpec(t, 0), RequestOptions{Method: "nope"})
+	if err == nil {
+		t.Fatal("unknown method did not error")
+	}
+	if svc.Stats().Misses != 0 {
+		t.Error("unknown method was counted as a miss (fingerprinted before failing)")
 	}
 }

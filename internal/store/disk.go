@@ -1,0 +1,278 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Disk is a durable store: one file per fingerprint under a directory,
+// written via an atomic temp-file-and-rename so a crash mid-write can
+// never leave a half-visible entry. Opening the store scans the
+// directory and rebuilds the index, so a restarted process serves every
+// entry its predecessor stored. Corrupt files — truncated, garbage,
+// tampered, or belonging to a different key — are treated as misses
+// (and removed), never surfaced as errors. Safe for concurrent use.
+type Disk struct {
+	dir string
+
+	// mu guards only the index and the closed flag. File I/O — the
+	// expensive part: a Put's write+fsync is ~0.5 ms — happens outside
+	// the write lock, so concurrent Gets are not serialized behind a
+	// search completing its Put. Renames are atomic and file names are
+	// a pure function of the key, so a read racing a rewrite sees
+	// either the old or the new complete envelope, never a torn one.
+	mu     sync.RWMutex
+	index  map[string]string // key -> file name within dir
+	closed bool
+}
+
+// diskEnvelope is the on-disk file format. Body and Meta are base64 in
+// JSON ([]byte marshaling); Sum is a hex SHA-256 over both (see
+// envelopeSum) so in-place corruption of either — body or metadata —
+// that still parses is caught and degraded to a miss.
+type diskEnvelope struct {
+	Format int    `json:"format"`
+	Key    string `json:"key"`
+	Sum    string `json:"sum"`
+	Body   []byte `json:"body"`
+	Meta   []byte `json:"meta,omitempty"`
+}
+
+// envelopeSum is the integrity checksum over an entry's content. The
+// body's length prefixes the concatenation so (body, meta) splits can
+// never alias; metadata is covered because a corrupt meta is as fatal
+// to consumers (runner-pool rebuilds) as a corrupt body.
+func envelopeSum(e Entry) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d\n", len(e.Body))
+	h.Write(e.Body)
+	h.Write(e.Meta)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// diskFormat versions the envelope; readers skip files from formats
+// they do not understand (a miss, like any other unreadable file).
+const diskFormat = 1
+
+const (
+	diskSuffix = ".rec.json"
+	tmpPrefix  = ".tmp-"
+)
+
+// OpenDisk opens (creating if needed) a disk store rooted at dir and
+// rebuilds its index from the files present. Unreadable or corrupt
+// files are skipped — and removed — so a previous crash cannot wedge
+// the store. Leftover temp files from interrupted writes are cleaned.
+func OpenDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: opening disk store: %w", err)
+	}
+	d := &Disk{dir: dir, index: make(map[string]string)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning %s: %w", dir, err)
+	}
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, tmpPrefix) {
+			// An interrupted write never renamed into place: discard.
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, diskSuffix) {
+			continue
+		}
+		env, ok := readEnvelope(filepath.Join(dir, name))
+		if !ok || fileName(env.Key) != name {
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		d.index[env.Key] = name
+	}
+	return d, nil
+}
+
+// Dir returns the directory backing the store.
+func (d *Disk) Dir() string { return d.dir }
+
+// fileName derives a filesystem-safe, collision-free name for a key.
+// Keys are hashed rather than escaped so any fingerprint string — or
+// any key at all — maps to a fixed-length portable name.
+func fileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + diskSuffix
+}
+
+// readEnvelope parses one stored file, reporting ok=false for any file
+// that is not a complete, untampered envelope.
+func readEnvelope(path string) (diskEnvelope, bool) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return diskEnvelope{}, false
+	}
+	var env diskEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return diskEnvelope{}, false
+	}
+	if env.Format != diskFormat || env.Key == "" {
+		return diskEnvelope{}, false
+	}
+	if env.Sum != envelopeSum(Entry{Body: env.Body, Meta: env.Meta}) {
+		return diskEnvelope{}, false
+	}
+	return env, true
+}
+
+// Get implements Store. A present-but-corrupt file is a miss: the entry
+// is dropped from the index and the file removed, so the serving layer
+// simply re-searches. The file read happens under the read lock only,
+// so concurrent Gets proceed in parallel.
+func (d *Disk) Get(key string) (Entry, bool, error) {
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		return Entry{}, false, ErrClosed
+	}
+	name, ok := d.index[key]
+	d.mu.RUnlock()
+	if !ok {
+		return Entry{}, false, nil
+	}
+	path := filepath.Join(d.dir, name)
+	env, ok := readEnvelope(path)
+	if ok && env.Key == key {
+		return Entry{Body: env.Body, Meta: env.Meta}, true, nil
+	}
+	// Corrupt (or deleted underfoot): drop it — unless a concurrent Put
+	// re-committed the slot while this read was in flight, in which case
+	// the fresh entry stays and this call is just a miss.
+	d.mu.Lock()
+	if n, still := d.index[key]; still && n == name {
+		if env2, ok2 := readEnvelope(path); !ok2 || env2.Key != key {
+			delete(d.index, key)
+			_ = os.Remove(path)
+		}
+	}
+	d.mu.Unlock()
+	return Entry{}, false, nil
+}
+
+// Put implements Store: marshal the envelope, write it to a temp file
+// in the same directory, fsync, then atomically rename into place.
+func (d *Disk) Put(key string, e Entry) error {
+	if key == "" {
+		return errors.New("store: Put with empty key")
+	}
+	env := diskEnvelope{
+		Format: diskFormat,
+		Key:    key,
+		Sum:    envelopeSum(e),
+		Body:   e.Body,
+		Meta:   e.Meta,
+	}
+	b, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("store: encoding %s: %w", key, err)
+	}
+
+	// The expensive part — temp write + fsync — runs outside the lock;
+	// only the commit (atomic rename + index update) is serialized.
+	d.mu.RLock()
+	closed := d.closed
+	d.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	f, err := os.CreateTemp(d.dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("store: writing %s: %w", key, err)
+	}
+	tmp := f.Name()
+	if _, err = f.Write(b); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("store: writing %s: %w", key, err)
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		_ = os.Remove(tmp)
+		return ErrClosed
+	}
+	name := fileName(key)
+	if err := os.Rename(tmp, filepath.Join(d.dir, name)); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("store: committing %s: %w", key, err)
+	}
+	d.index[key] = name
+	return nil
+}
+
+// Delete implements Store.
+func (d *Disk) Delete(key string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	name, ok := d.index[key]
+	if !ok {
+		return nil
+	}
+	delete(d.index, key)
+	if err := os.Remove(filepath.Join(d.dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: deleting %s: %w", key, err)
+	}
+	return nil
+}
+
+// Keys implements Store.
+func (d *Disk) Keys() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	keys := make([]string, 0, len(d.index))
+	for k := range d.index {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Len implements Store.
+func (d *Disk) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.index)
+}
+
+// Close implements Store. Entries stay on disk: a later OpenDisk on the
+// same directory serves them again.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	d.index = nil
+	return nil
+}
+
+// Stats implements StatsReporter. Disk never evicts: its bound is the
+// filesystem.
+func (d *Disk) Stats() Stats {
+	return Stats{Kind: "disk", Tiers: map[string]int{"disk": d.Len()}}
+}

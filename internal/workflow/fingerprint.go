@@ -5,6 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+
+	"aarc/internal/dag"
+	"aarc/internal/perfmodel"
+	"aarc/internal/resources"
 )
 
 // The canonical encoding reuses the on-disk JSON vocabulary (specJSON and
@@ -82,6 +86,68 @@ func CanonicalJSON(spec *Spec) ([]byte, error) {
 	// encoding/json writes struct fields in declaration order and string-keyed
 	// maps sorted by key, so the bytes are a pure function of the spec.
 	return json.Marshal(cs)
+}
+
+// DecodeCanonicalSpec parses CanonicalJSON output back into a validated
+// Spec. Unlike DecodeSpec's submission format (uniform base config), the
+// canonical form spells the base assignment per group, so the round trip
+// CanonicalJSON -> DecodeCanonicalSpec -> CanonicalJSON is byte-exact.
+// The serving layer persists canonical spec bytes next to each cached
+// recommendation and uses this to rebuild evaluation runners after a
+// restart.
+func DecodeCanonicalSpec(b []byte) (*Spec, error) {
+	var cs canonicalSpec
+	if err := json.Unmarshal(b, &cs); err != nil {
+		return nil, fmt.Errorf("workflow: decoding canonical spec: %w", err)
+	}
+	g := dag.New()
+	profiles := make(map[string]perfmodel.Profile, len(cs.Nodes))
+	groups := make(map[string]string)
+	for _, n := range cs.Nodes {
+		if err := g.AddNode(n.ID); err != nil {
+			return nil, err
+		}
+		profiles[n.ID] = perfmodel.Profile{
+			Name:           n.ID,
+			CPUWorkMS:      n.Profile.CPUWorkMS,
+			ParallelFrac:   n.Profile.ParallelFrac,
+			MaxParallel:    n.Profile.MaxParallel,
+			IOMS:           n.Profile.IOMS,
+			FootprintMB:    n.Profile.FootprintMB,
+			MinMemMB:       n.Profile.MinMemMB,
+			PressureK:      n.Profile.PressureK,
+			NoiseStd:       n.Profile.NoiseStd,
+			InputSensitive: n.Profile.InputSensitive,
+		}
+		if n.Group != "" {
+			groups[n.ID] = n.Group
+		}
+	}
+	for _, e := range cs.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	base := make(resources.Assignment, len(cs.Base))
+	for grp, c := range cs.Base {
+		base[grp] = resources.Config{CPU: c.CPU, MemMB: c.MemMB}
+	}
+	spec := &Spec{
+		Name:     cs.Name,
+		G:        g,
+		Profiles: profiles,
+		Groups:   groups,
+		SLOMS:    cs.SLOMS,
+		Base:     base,
+		Limits: resources.Limits{
+			MinCPU: cs.Limits.MinCPU, MaxCPU: cs.Limits.MaxCPU, CPUStep: cs.Limits.CPUStep,
+			MinMemMB: cs.Limits.MinMemMB, MaxMemMB: cs.Limits.MaxMemMB, MemStepMB: cs.Limits.MemStepMB,
+		},
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
 }
 
 // Fingerprint returns "sha256:<hex>" over the spec's canonical JSON. It is

@@ -138,3 +138,48 @@ func TestFingerprintRejectsInvalidSpec(t *testing.T) {
 		t.Error("Fingerprint accepted an invalid spec")
 	}
 }
+
+func TestDecodeCanonicalSpecRoundTrip(t *testing.T) {
+	spec := fingerprintSpec(t, false)
+	b1, err := CanonicalJSON(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeCanonicalSpec(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The round trip is byte-exact: same canonical bytes, same
+	// fingerprint, same groups and per-group base.
+	b2, err := CanonicalJSON(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Errorf("canonical round trip not byte-exact:\n%s\nvs\n%s", b1, b2)
+	}
+	fp1, _ := Fingerprint(spec)
+	fp2, _ := Fingerprint(decoded)
+	if fp1 != fp2 {
+		t.Errorf("round trip changed fingerprint %s -> %s", fp1, fp2)
+	}
+	if decoded.GroupOf("b") != "mid" || decoded.GroupOf("c") != "mid" {
+		t.Errorf("round trip lost groups: b->%s c->%s", decoded.GroupOf("b"), decoded.GroupOf("c"))
+	}
+	// A decoded spec is runnable: it validates and exposes the same groups.
+	if got, want := len(decoded.FunctionGroups()), len(spec.FunctionGroups()); got != want {
+		t.Errorf("round trip has %d groups, want %d", got, want)
+	}
+}
+
+func TestDecodeCanonicalSpecRejectsGarbage(t *testing.T) {
+	for name, b := range map[string][]byte{
+		"not json":   []byte("nope"),
+		"empty spec": []byte(`{}`),
+		"bad edge":   []byte(`{"name":"x","slo_ms":1,"nodes":[{"id":"a","profile":{"cpu_work_ms":1,"parallel_frac":0,"footprint_mb":1,"min_mem_mb":1}}],"edges":[["a","missing"]],"base":{"a":{"cpu":1,"mem_mb":128}},"limits":{"min_cpu":1,"max_cpu":8,"cpu_step":1,"min_mem_mb":128,"max_mem_mb":4096,"mem_step_mb":64}}`),
+	} {
+		if _, err := DecodeCanonicalSpec(b); err == nil {
+			t.Errorf("%s: DecodeCanonicalSpec accepted invalid input", name)
+		}
+	}
+}

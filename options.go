@@ -1,6 +1,10 @@
 package aarc
 
-import "time"
+import (
+	"time"
+
+	"aarc/internal/store"
+)
 
 // settings collects everything the functional options tune. The defaults
 // mirror the paper's experimental setup: the AARC method on a 96-core
@@ -14,9 +18,11 @@ type settings struct {
 	seed       uint64
 	hostCores  float64
 	noise      bool
-	inputScale float64 // 0: scale 1.0
-	cacheSize  int     // NewService: 0 = default 128
-	shards     int     // NewService: 0 = GOMAXPROCS
+	inputScale float64     // 0: scale 1.0
+	cacheSize  int         // NewService: 0 = default 128
+	shards     int         // NewService: 0 = GOMAXPROCS
+	cacheDir   string      // NewService: "" = memory-only store
+	store      store.Store // NewService: nil = built from cacheSize/cacheDir
 }
 
 func defaultSettings() settings {
@@ -106,4 +112,23 @@ func WithCacheSize(n int) Option {
 // ConfigureClasses ignore it.
 func WithShards(n int) Option {
 	return func(s *settings) { s.shards = n }
+}
+
+// WithCacheDir makes NewService's recommendation store durable: a
+// WithCacheSize-bounded memory tier over a disk tier rooted at dir
+// (write-through, promote-on-hit, warmed from disk on start). A
+// restarted service answers fingerprints its predecessor searched as
+// cache hits, byte-identical. Configure and ConfigureClasses ignore it;
+// WithStore overrides it.
+func WithCacheDir(dir string) Option {
+	return func(s *settings) { s.cacheDir = dir }
+}
+
+// WithStore plugs a caller-built recommendation store (see the Store
+// contract; NewMemoryStore, OpenDiskStore, NewTieredStore ship) into
+// NewService, overriding WithCacheSize and WithCacheDir. The service
+// takes ownership: its Close closes the store. Configure and
+// ConfigureClasses ignore it.
+func WithStore(st Store) Option {
+	return func(s *settings) { s.store = st }
 }

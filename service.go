@@ -4,38 +4,67 @@ import (
 	"net/http"
 
 	"aarc/internal/service"
+	"aarc/internal/store"
 	"aarc/internal/workflow"
 )
 
 // The serving layer re-exported through the facade: a long-lived Service
 // that answers Configure/Dispatch requests from a fingerprint-keyed
-// recommendation cache (one search per unique workload, singleflight under
+// recommendation store (one search per unique workload, singleflight under
 // concurrency) and evaluates configured workflows on a sharded runner
 // pool. cmd/aarcd is this service behind HTTP; NewServiceHandler mounts
 // the same API inside another server.
 type (
-	// Service is the long-lived serving layer: cache + singleflight +
+	// Service is the long-lived serving layer: store + singleflight +
 	// sharded runner pools. Safe for concurrent use.
 	Service = service.Service
-	// ServiceRecommendation is the serializable, cacheable outcome of one
+	// ServiceRecommendation is the serializable, storable outcome of one
 	// configuration search as the service returns it.
 	ServiceRecommendation = service.Recommendation
 	// ServiceRequest carries the per-request overrides of the service's
 	// Configure and Dispatch.
 	ServiceRequest = service.RequestOptions
-	// ServiceStats is a snapshot of the service's cache counters.
+	// ServiceStats is a snapshot of the service's cache counters,
+	// including per-tier store sizes.
 	ServiceStats = service.Stats
 	// DispatchResult is the outcome of one input-aware dispatch: the input
 	// class and its pre-searched configuration.
 	DispatchResult = service.DispatchResult
+
+	// Store is the pluggable recommendation storage contract behind the
+	// serving layer: Get/Put/Delete/Keys/Len/Close over fingerprint-keyed,
+	// already-serialized entries. Bring any implementation via WithStore;
+	// NewMemoryStore, OpenDiskStore and NewTieredStore are the shipped
+	// ones.
+	Store = store.Store
+	// StoreEntry is one stored recommendation: the exact served bytes
+	// plus opaque metadata the service uses to rebuild evaluation
+	// runners after a restart.
+	StoreEntry = store.Entry
 )
+
+// NewMemoryStore returns the bounded in-memory LRU store (the serving
+// default): fast, process-private, at most capacity entries.
+func NewMemoryStore(capacity int) Store { return store.NewMemory(capacity) }
+
+// OpenDiskStore opens (creating if needed) the durable one-file-per-
+// fingerprint store rooted at dir. Entries survive restarts; corrupt
+// files degrade to cache misses, never errors.
+func OpenDiskStore(dir string) (Store, error) { return store.OpenDisk(dir) }
+
+// NewTieredStore layers fast over slow with write-through puts and
+// promote-on-hit gets — WithCacheDir is shorthand for a bounded memory
+// tier over a disk tier.
+func NewTieredStore(fast, slow Store) Store { return store.NewTiered(fast, slow) }
 
 // NewService builds the serving layer with the same functional options as
 // Configure (WithMethod, WithSeed, WithHostCores, WithNoise, WithSLO,
-// WithInputScale) plus the service-specific WithCacheSize and WithShards.
-// A WithBudget budget becomes the server-side cap: requests may tighten
-// it, never exceed it.
-func NewService(opts ...Option) *Service {
+// WithInputScale) plus the service-specific WithCacheSize, WithShards,
+// WithCacheDir and WithStore. A WithBudget budget becomes the server-side
+// cap: requests may tighten it, never exceed it. The error is the backing
+// store's (opening a cache directory can fail; a memory-only service
+// cannot). Close the service to release the store.
+func NewService(opts ...Option) (*Service, error) {
 	s := newSettings(opts)
 	return service.New(service.Config{
 		Method:       s.method,
@@ -48,15 +77,18 @@ func NewService(opts ...Option) *Service {
 		MaxSimCostMS: s.maxSimMS,
 		CacheSize:    s.cacheSize,
 		Shards:       s.shards,
+		CacheDir:     s.cacheDir,
+		Store:        s.store,
 	})
 }
 
 // NewServiceHandler mounts the service's HTTP API (the one cmd/aarcd
-// serves: /healthz, /v1/methods, /v1/configure, /v1/dispatch,
-// /v1/evaluate) for embedding in another http.Server.
+// serves: /healthz, /v1/methods, /v1/configure, /v1/recommendation/{fp},
+// /v1/dispatch, /v1/evaluate) for embedding in another http.Server.
 func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }
 
 // SpecFingerprint returns the content-addressed identity of a workflow
 // definition: "sha256:<hex>" over its canonical JSON. The serving layer
-// keys its cache on this fingerprint combined with the search options.
+// keys its store on this fingerprint combined with the search options and
+// the method's registered implementation version.
 func SpecFingerprint(spec *Spec) (string, error) { return workflow.Fingerprint(spec) }

@@ -22,10 +22,14 @@ import (
 
 func benchService(b *testing.B) *aarc.Service {
 	b.Helper()
-	return aarc.NewService(
+	svc, err := aarc.NewService(
 		aarc.WithSeed(benchSeed),
 		aarc.WithCacheSize(4096),
 	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return svc
 }
 
 func benchSpec(b *testing.B) *aarc.Spec {
@@ -76,6 +80,60 @@ func BenchmarkServiceConfigure(b *testing.B) {
 				}
 			}
 		})
+	})
+}
+
+// BenchmarkServiceFingerprintGet measures the fingerprint-addressed fast
+// path against the POST-configure hit path it bypasses. Direct is the
+// store lookup itself (no HTTP); HTTPGet and HTTPPostHit drive the
+// handler, so their difference is exactly what skipping the spec body —
+// decode, canonicalize, hash — buys per hit.
+func BenchmarkServiceFingerprintGet(b *testing.B) {
+	svc := benchService(b)
+	ts := httptest.NewServer(aarc.NewServiceHandler(svc))
+	defer ts.Close()
+	spec := benchSpec(b)
+	rec, _, err := svc.Configure(context.Background(), spec, aarc.ServiceRequest{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.RecommendationJSON(rec.Fingerprint); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("HTTPGet", func(b *testing.B) {
+		url := ts.URL + "/v1/recommendation/" + rec.Fingerprint
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	})
+	b.Run("HTTPPostHit", func(b *testing.B) {
+		body := `{"workload": "chatbot"}`
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(ts.URL+"/v1/configure", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
 	})
 }
 
