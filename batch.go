@@ -1,0 +1,38 @@
+package aarc
+
+import (
+	"context"
+	"errors"
+
+	"aarc/internal/experiments"
+)
+
+// ConfigureBatch searches a configuration for every spec concurrently on
+// a bounded worker pool (WithBatchWorkers, default GOMAXPROCS) and
+// returns one recommendation per spec, index-aligned. Each spec's search
+// is seeded exactly like a singleton Configure with the same options —
+// per-cell determinism is a property of the search, not of pool
+// scheduling — so a batched run returns the same recommendations as
+// sequential Configure calls, in max(single-search) wall time on enough
+// cores rather than the sum.
+//
+// Failures are isolated per spec: a failed slot is nil (or, as with
+// Configure, a partial recommendation for context cancellation and other
+// mid-search stops) and the joined error wraps every per-spec failure;
+// errors.Is sees through it. A nil error means every spec succeeded.
+//
+// For the serving-layer equivalent — store hits, batch-internal dedupe
+// and singleflight against concurrent requests — use
+// Service.ConfigureBatch (POST /v1/configure:batch on aarcd).
+func ConfigureBatch(ctx context.Context, specs []*Spec, opts ...Option) ([]*Recommendation, error) {
+	s := newSettings(opts)
+	recs := make([]*Recommendation, len(specs))
+	errs := make([]error, len(specs))
+	// The pool callback never returns an error: an error would stop the
+	// pool from claiming later specs, and batch failures are per-slot.
+	_ = experiments.NewPool(s.batchWorkers).Do(len(specs), func(i int) error {
+		recs[i], errs[i] = Configure(ctx, specs[i], opts...)
+		return nil
+	})
+	return recs, errors.Join(errs...)
+}

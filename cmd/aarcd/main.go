@@ -8,6 +8,7 @@
 //	aarcd                              # listen on :8080 with defaults
 //	aarcd -addr :9090 -max-samples 200 # cap server-side search work
 //	aarcd -cache-dir /var/lib/aarc     # durable cache: warm restarts
+//	aarcd -batch-window 25ms           # coalesce cold singleton bursts
 //
 // With -cache-dir the recommendation store is tiered — a bounded memory
 // tier over one-file-per-fingerprint disk storage, written through on
@@ -15,12 +16,22 @@
 // daemon answers its predecessor's fingerprints as byte-identical cache
 // hits without re-searching.
 //
+// POST /v1/configure:batch answers a list of configure requests as one
+// admission: store hits immediately, repeats deduplicated within the
+// batch, and all remaining misses searched by one -batch-workers-wide
+// pooled run with per-item error isolation. -batch-window additionally
+// coalesces *singleton* configure misses: cold requests queue for up to
+// the window and drain into the same kind of pooled run, so a burst of
+// distinct cold fingerprints completes in roughly max(single-search)
+// wall time instead of the sum. Cache hits never wait on the window.
+//
 // Endpoints (see DESIGN.md §"Storage tiers" and the README for curl
 // examples):
 //
 //	GET    /healthz                 liveness + cache/store stats
 //	GET    /v1/methods              the search method registry (+versions)
 //	POST   /v1/configure            {"workload":"chatbot"} or {"spec":{...}} -> recommendation
+//	POST   /v1/configure:batch      {"requests":[...]} -> per-item results, misses pooled
 //	GET    /v1/recommendation/{fp}  fingerprint-addressed fast path (no spec body)
 //	DELETE /v1/recommendation/{fp}  explicit invalidation across all tiers
 //	POST   /v1/dispatch             {"workload":"video-analysis","scale":1.4} -> class + config
@@ -46,16 +57,18 @@ func main() {
 	log.SetPrefix("aarcd: ")
 
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		method     = flag.String("method", "aarc", "default search method (see /v1/methods)")
-		seed       = flag.Uint64("seed", 42, "default simulator+searcher seed")
-		hostCores  = flag.Float64("cores", 96, "host CPU capacity shared by concurrent containers")
-		noNoise    = flag.Bool("no-noise", false, "disable the simulator's measurement noise")
-		cacheSize  = flag.Int("cache-size", 128, "max in-memory recommendations/engines (LRU)")
-		cacheDir   = flag.String("cache-dir", "", "durable recommendation store directory (empty = memory only)")
-		shards     = flag.Int("shards", 0, "runners per entry's evaluation pool (0 = GOMAXPROCS)")
-		maxSamples = flag.Int("max-samples", 0, "server-side per-search sample cap (0 = unlimited)")
-		maxSimMS   = flag.Float64("max-sim-cost-ms", 0, "server-side simulated-time cap per search (0 = unlimited)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		method      = flag.String("method", "aarc", "default search method (see /v1/methods)")
+		seed        = flag.Uint64("seed", 42, "default simulator+searcher seed")
+		hostCores   = flag.Float64("cores", 96, "host CPU capacity shared by concurrent containers")
+		noNoise     = flag.Bool("no-noise", false, "disable the simulator's measurement noise")
+		cacheSize   = flag.Int("cache-size", 128, "max in-memory recommendations/engines (LRU)")
+		cacheDir    = flag.String("cache-dir", "", "durable recommendation store directory (empty = memory only)")
+		shards      = flag.Int("shards", 0, "runners per entry's evaluation pool (0 = GOMAXPROCS)")
+		maxSamples  = flag.Int("max-samples", 0, "server-side per-search sample cap (0 = unlimited)")
+		maxSimMS    = flag.Float64("max-sim-cost-ms", 0, "server-side simulated-time cap per search (0 = unlimited)")
+		batchWork   = flag.Int("batch-workers", 0, "concurrent searches per batched configure run (0 = GOMAXPROCS)")
+		batchWindow = flag.Duration("batch-window", 0, "coalesce singleton configure misses for this long into one pooled run (0 = off)")
 	)
 	flag.Parse()
 
@@ -67,6 +80,8 @@ func main() {
 		aarc.WithCacheSize(*cacheSize),
 		aarc.WithCacheDir(*cacheDir),
 		aarc.WithShards(*shards),
+		aarc.WithBatchWorkers(*batchWork),
+		aarc.WithBatchWindow(*batchWindow),
 		aarc.WithBudget(aarc.Budget{
 			MaxSamples: *maxSamples,
 			// Scale before converting: time.Duration(*maxSimMS) would
@@ -99,6 +114,9 @@ func main() {
 	stats := svc.Stats()
 	if *cacheDir != "" {
 		log.Printf("durable store %s: warmed %d entries from %s", stats.Store, stats.Tiers["memory"], *cacheDir)
+	}
+	if *batchWindow > 0 {
+		log.Printf("batch window %s: coalescing cold configure bursts", *batchWindow)
 	}
 	log.Printf("serving on %s (method=%s store=%s cache=%d shards=%s)", *addr, *method, stats.Store, *cacheSize, shardsDesc)
 

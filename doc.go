@@ -22,6 +22,11 @@
 // recorded sample and returns the partial recommendation with ctx.Err();
 // an exhausted budget is a normal stop.
 //
+// ConfigureBatch answers many specs at once: one search per spec on a
+// bounded worker pool (WithBatchWorkers), per-slot error isolation, and
+// results identical to sequential Configure calls — batching changes
+// wall time, never outcomes.
+//
 // Custom workflows are built in code from NewGraph, Profile and Spec (see
 // examples/customworkflow) or shipped as JSON (DecodeSpec/EncodeSpec).
 // Input-sensitive serving uses ConfigureClasses, which searches one
@@ -40,11 +45,15 @@
 // swappable: the default is a bounded in-memory LRU (NewMemoryStore),
 // WithCacheDir tiers it over durable disk storage (warm restarts with
 // byte-identical hits), and WithStore accepts any Store implementation.
-// NewServiceHandler mounts the same HTTP API cmd/aarcd serves
-// (/v1/configure, /v1/recommendation/{fingerprint} — the
-// fingerprint-addressed fast path, GET to skip spec canonicalization
-// entirely and DELETE to invalidate — /v1/dispatch, /v1/evaluate,
-// /v1/methods, /healthz).
+// Bursts of distinct workloads batch: Service.ConfigureBatch answers a
+// list of requests as one admission (store hits immediately, in-batch
+// repeats deduplicated, remaining misses searched by one pooled run with
+// per-item error isolation), and WithBatchWindow opts singleton cache
+// misses into the same pooled runs. NewServiceHandler mounts the same
+// HTTP API cmd/aarcd serves (/v1/configure, /v1/configure:batch,
+// /v1/recommendation/{fingerprint} — the fingerprint-addressed fast
+// path, GET to skip spec canonicalization entirely and DELETE to
+// invalidate — /v1/dispatch, /v1/evaluate, /v1/methods, /healthz).
 //
 // Start with the examples, which use only this public API:
 //

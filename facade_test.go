@@ -49,6 +49,68 @@ func TestConfigureDefaultsToAARC(t *testing.T) {
 	}
 }
 
+// TestConfigureBatchMatchesSequentialConfigure: the pooled batch returns
+// the same recommendations as sequential singleton Configure calls with
+// identical options — parallelism must not leak into the results.
+func TestConfigureBatchMatchesSequentialConfigure(t *testing.T) {
+	var specs []*aarc.Spec
+	for _, name := range aarc.WorkloadNames() {
+		spec, err := aarc.Workload(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, spec)
+	}
+	opts := []aarc.Option{aarc.WithBudget(aarc.Budget{MaxSamples: 5}), aarc.WithBatchWorkers(2)}
+	recs, err := aarc.ConfigureBatch(context.Background(), specs, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(specs) {
+		t.Fatalf("got %d recommendations for %d specs", len(recs), len(specs))
+	}
+	for i, spec := range specs {
+		want, err := aarc.Configure(context.Background(), spec, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := recs[i]
+		if got == nil {
+			t.Fatalf("spec %d: nil recommendation", i)
+		}
+		if got.Final.E2EMS != want.Final.E2EMS || got.Final.Cost != want.Final.Cost ||
+			got.Final.OOM != want.Final.OOM || got.Trace.Len() != want.Trace.Len() {
+			t.Errorf("spec %d: batched final %+v (%d samples) != sequential %+v (%d samples)",
+				i, got.Final, got.Trace.Len(), want.Final, want.Trace.Len())
+		}
+		for g, cfg := range want.Assignment {
+			if got.Assignment[g] != cfg {
+				t.Errorf("spec %d group %q: batched %v != sequential %v", i, g, got.Assignment[g], cfg)
+			}
+		}
+	}
+}
+
+// TestConfigureBatchIsolatesFailures: a nil spec fails only its slot and
+// the joined error names it; healthy slots still complete.
+func TestConfigureBatchIsolatesFailures(t *testing.T) {
+	spec, err := aarc.Workload("chatbot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := aarc.ConfigureBatch(context.Background(), []*aarc.Spec{nil, spec},
+		aarc.WithBudget(aarc.Budget{MaxSamples: 3}))
+	if err == nil {
+		t.Fatal("batch with a nil spec returned no error")
+	}
+	if recs[0] != nil {
+		t.Error("failed slot holds a recommendation")
+	}
+	if recs[1] == nil || len(recs[1].Assignment) == 0 {
+		t.Errorf("healthy slot = %+v", recs[1])
+	}
+}
+
 func TestSLOCompliantFalseWhenNeverMeasured(t *testing.T) {
 	spec, err := aarc.Workload("chatbot")
 	if err != nil {

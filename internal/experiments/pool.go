@@ -36,6 +36,13 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
+// poolClaimed, when non-nil, is called between a task's claim and its
+// run. It exists for tests only: it widens the otherwise instruction-wide
+// claim→run window so the regression test for the claim-then-skip race
+// can force the schedule where a later-claimed task fails while an
+// earlier claim is still pending. Production code never sets it.
+var poolClaimed func(i int)
+
 // Do runs fn(0), ..., fn(n-1) with at most Workers() tasks in flight and
 // returns the lowest-index error (deterministic even when several tasks fail
 // concurrently). A nil or single-worker pool runs the tasks inline in index
@@ -58,10 +65,15 @@ func (p *Pool) Do(n int, fn func(i int) error) error {
 		return nil
 	}
 
-	// Tasks are claimed in index order, so when task f fails every task
-	// below f is already claimed and will finish: skipping unclaimed tasks
-	// keeps the lowest-index error deterministic while avoiding wasted work
-	// after a failure, like the sequential loop's early exit.
+	// Tasks are claimed in index order and a claimed task always runs: the
+	// failure check sits before the claim, never between a claim and its
+	// run. When task f fails, every index below f is already claimed and
+	// will finish, so the lowest-index error is deterministic regardless of
+	// scheduling; unclaimed tasks are skipped to avoid wasted work after a
+	// failure, like the sequential loop's early exit. (Checking failed
+	// after claiming would let a worker drop its claimed task when a
+	// later-claimed task fails inside the claim→run window, returning a
+	// non-lowest error.)
 	errs := make([]error, n)
 	var next atomic.Int64
 	var failed atomic.Bool
@@ -70,10 +82,13 @@ func (p *Pool) Do(n int, fn func(i int) error) error {
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !failed.Load() {
 				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
+				if i >= n {
 					return
+				}
+				if h := poolClaimed; h != nil {
+					h(i)
 				}
 				if errs[i] = fn(i); errs[i] != nil {
 					failed.Store(true)

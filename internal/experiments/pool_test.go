@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolDoRunsClaimedTasksAfterFailure is the regression test for the
+// claim-then-skip race: Do used to check the failure flag *after* claiming
+// an index, so a worker stalled between its claim and that check would
+// drop its claimed task when a later-claimed task failed first — and Do
+// returned the later task's error, contradicting the documented
+// deterministic lowest-index-error contract.
+//
+// The poolClaimed hook forces exactly that schedule deterministically:
+// the claimer of task 0 stalls in the claim→run window until task 1 has
+// failed and published its failure. The fixed loop checks the failure
+// flag only before claiming, so the claimed task 0 still runs and its
+// (lowest-index) error wins; the pre-fix loop skipped task 0 here and
+// returned task 1's error, never calling fn(0).
+func TestPoolDoRunsClaimedTasksAfterFailure(t *testing.T) {
+	defer func() { poolClaimed = nil }()
+
+	err0 := errors.New("task 0 failed")
+	err1 := errors.New("task 1 failed")
+	task1Failed := make(chan struct{})
+	var ran0 atomic.Bool
+
+	poolClaimed = func(i int) {
+		if i != 0 {
+			return
+		}
+		// Stall the claim of task 0 across task 1's entire run *and* the
+		// publication of its failure: fn(1) closes the channel on its way
+		// out, and the short sleep spans the worker's store to the failure
+		// flag that follows its return.
+		<-task1Failed
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	err := NewPool(2).Do(2, func(i int) error {
+		if i == 1 {
+			defer close(task1Failed)
+			return err1
+		}
+		ran0.Store(true)
+		return err0
+	})
+
+	if !ran0.Load() {
+		t.Error("claimed task 0 never ran: a worker skipped its claim after a later task failed")
+	}
+	if err != err0 {
+		t.Errorf("Do returned %v, want the lowest-index error %v", err, err0)
+	}
+}
+
+// TestPoolDoStopsClaimingAfterFailure keeps the early-exit half of the
+// contract honest alongside the fix: tasks not yet claimed when a failure
+// lands are skipped, like the sequential loop stopping at its first
+// error.
+func TestPoolDoStopsClaimingAfterFailure(t *testing.T) {
+	failErr := errors.New("boom")
+	var calls atomic.Int64
+	const n = 10000
+	err := NewPool(2).Do(n, func(i int) error {
+		calls.Add(1)
+		if i == 0 {
+			return failErr
+		}
+		return nil
+	})
+	if err != failErr {
+		t.Fatalf("Do returned %v, want %v", err, failErr)
+	}
+	// Worker startup is concurrent, so a handful of tasks may be claimed
+	// before the failure is visible; "stopped early" just must not mean
+	// "ran everything".
+	if c := calls.Load(); c == n {
+		t.Errorf("all %d tasks ran despite task 0 failing immediately", n)
+	}
+}

@@ -1,0 +1,474 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aarc/internal/search"
+	"aarc/internal/workflow"
+)
+
+// gaugeSearcher measures search concurrency: tests assert that a batch of
+// N distinct specs never runs more than pool-width searches at once. The
+// short sleep keeps each search in flight long enough for overlap to be
+// observable.
+var (
+	gaugeCur atomic.Int64
+	gaugeMax atomic.Int64
+)
+
+type gaugeSearcher struct{}
+
+func (gaugeSearcher) Name() string { return "Gauge" }
+
+func (gaugeSearcher) Search(ctx context.Context, ev search.Evaluator, opts search.Options) (search.Outcome, error) {
+	cur := gaugeCur.Add(1)
+	defer gaugeCur.Add(-1)
+	for {
+		m := gaugeMax.Load()
+		if cur <= m || gaugeMax.CompareAndSwap(m, cur) {
+			break
+		}
+	}
+	time.Sleep(5 * time.Millisecond)
+	return stubSearcher{}.Search(ctx, ev, opts)
+}
+
+// gateSearcher parks every search on a test-controlled gate, so tests can
+// hold a search in flight while other callers arrive. gateStarted and
+// gateRelease are reset by each test before any search can run.
+var (
+	gateStarted  chan struct{}
+	gateRelease  chan struct{}
+	gateSearches atomic.Int64
+)
+
+type gateSearcher struct{}
+
+func (gateSearcher) Name() string { return "Gate" }
+
+func (gateSearcher) Search(ctx context.Context, ev search.Evaluator, opts search.Options) (search.Outcome, error) {
+	gateSearches.Add(1)
+	gateStarted <- struct{}{}
+	<-gateRelease
+	return stubSearcher{}.Search(ctx, ev, opts)
+}
+
+func init() {
+	search.Register("gauge", 1, func(seed uint64) search.Searcher { return gaugeSearcher{} })
+	search.Register("gate", 1, func(seed uint64) search.Searcher { return gateSearcher{} })
+}
+
+// TestConfigureBatchMatchesSingletonBytes is the determinism contract: a
+// batch of N distinct specs runs through the worker pool, yet every
+// item's body is byte-identical to what sequential singleton requests on
+// an identically-configured service serve — per-cell seeding is a pure
+// function of the item, never of pool scheduling.
+func TestConfigureBatchMatchesSingletonBytes(t *testing.T) {
+	const distinct = 6
+	batchSvc := stubService(t, Config{BatchWorkers: 3})
+	singleSvc := stubService(t, Config{})
+
+	items := make([]BatchItem, distinct)
+	for i := range items {
+		items[i] = BatchItem{Spec: testSpec(t, i)}
+	}
+	before := stubSearches.Load()
+	results, err := batchSvc.ConfigureBatch(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stubSearches.Load() - before; got != distinct {
+		t.Errorf("batch of %d distinct specs ran %d searches, want %d", distinct, got, distinct)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("item %d: %v", i, res.Err)
+		}
+		if res.CacheHit {
+			t.Errorf("item %d of a cold batch reported a cache hit", i)
+		}
+		body, hit, err := singleSvc.ConfigureJSON(context.Background(), testSpec(t, i), RequestOptions{})
+		if err != nil || hit {
+			t.Fatalf("singleton %d: hit=%v err=%v", i, hit, err)
+		}
+		if !bytes.Equal(res.Body, body) {
+			t.Errorf("item %d batched body differs from the singleton body:\nbatch:     %s\nsingleton: %s", i, res.Body, body)
+		}
+	}
+	st := batchSvc.Stats()
+	if st.BatchRuns != 1 || st.Misses != distinct || st.Entries != distinct {
+		t.Errorf("stats after one cold batch: %+v", st)
+	}
+
+	// The same batch again is all store hits: no search, no pooled run.
+	before = stubSearches.Load()
+	results, err = batchSvc.ConfigureBatch(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Err != nil || !res.CacheHit {
+			t.Errorf("warm item %d: hit=%v err=%v", i, res.CacheHit, res.Err)
+		}
+	}
+	if got := stubSearches.Load() - before; got != 0 {
+		t.Errorf("warm batch ran %d searches, want 0", got)
+	}
+	if st := batchSvc.Stats(); st.BatchRuns != 1 {
+		t.Errorf("warm batch started a pooled run: %+v", st)
+	}
+}
+
+// TestConfigureBatchConcurrencyBounded asserts the pool-width cap: 8
+// distinct cold specs through a 2-worker batch never exceed 2 concurrent
+// searches.
+func TestConfigureBatchConcurrencyBounded(t *testing.T) {
+	svc := stubService(t, Config{BatchWorkers: 2})
+	gaugeMax.Store(0)
+
+	items := make([]BatchItem, 8)
+	for i := range items {
+		items[i] = BatchItem{Spec: testSpec(t, i), Options: RequestOptions{Method: "gauge"}}
+	}
+	results, err := svc.ConfigureBatch(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("item %d: %v", i, res.Err)
+		}
+	}
+	if m := gaugeMax.Load(); m < 1 || m > 2 {
+		t.Errorf("batch of 8 ran %d concurrent searches, want 1..2 (pool width 2)", m)
+	}
+}
+
+// TestConfigureBatchDedupAndHits: repeats within one batch search once
+// and inherit the first occurrence's outcome; already-stored fingerprints
+// answer as immediate hits without entering the pooled run.
+func TestConfigureBatchDedupAndHits(t *testing.T) {
+	svc := stubService(t, Config{})
+	ctx := context.Background()
+	primed := testSpec(t, 0)
+	primedBody, _, err := svc.ConfigureJSON(ctx, primed, RequestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := testSpec(t, 1)
+	before := stubSearches.Load()
+	results, err := svc.ConfigureBatch(ctx, []BatchItem{
+		{Spec: primed}, // store hit
+		{Spec: fresh},  // the one real miss
+		{Spec: fresh},  // batch-internal duplicate of the miss
+		{Spec: primed}, // batch-internal duplicate of the hit
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stubSearches.Load() - before; got != 1 {
+		t.Errorf("batch with one unique miss ran %d searches, want 1", got)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("item %d: %v", i, res.Err)
+		}
+	}
+	if !results[0].CacheHit || !bytes.Equal(results[0].Body, primedBody) {
+		t.Errorf("primed item: hit=%v", results[0].CacheHit)
+	}
+	if results[1].CacheHit {
+		t.Error("fresh item reported a cache hit")
+	}
+	if results[2].CacheHit || !bytes.Equal(results[2].Body, results[1].Body) {
+		t.Errorf("duplicate of the miss: hit=%v, bodies equal=%v",
+			results[2].CacheHit, bytes.Equal(results[2].Body, results[1].Body))
+	}
+	if !results[3].CacheHit || !bytes.Equal(results[3].Body, primedBody) {
+		t.Errorf("duplicate of the hit: hit=%v", results[3].CacheHit)
+	}
+	if results[1].Fingerprint != results[2].Fingerprint {
+		t.Error("duplicate items carry different fingerprints")
+	}
+}
+
+// TestConfigureBatchPerItemErrorIsolation: a nil spec, an unknown method
+// and a failing search each fail exactly their own slot.
+func TestConfigureBatchPerItemErrorIsolation(t *testing.T) {
+	svc := stubService(t, Config{})
+	results, err := svc.ConfigureBatch(context.Background(), []BatchItem{
+		{Spec: nil},
+		{Spec: testSpec(t, 0), Options: RequestOptions{Method: "nope"}},
+		{Spec: testSpec(t, 1), Options: RequestOptions{Method: "failing"}},
+		{Spec: testSpec(t, 2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(results[0].Err, errNilSpec) {
+		t.Errorf("nil-spec item error = %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("unknown-method item did not error")
+	}
+	if results[2].Err == nil {
+		t.Error("failing-search item did not error")
+	}
+	if results[3].Err != nil || len(results[3].Body) == 0 {
+		t.Errorf("healthy item: err=%v body=%d bytes", results[3].Err, len(results[3].Body))
+	}
+	// A failed search stores nothing: only the healthy item is cached.
+	if st := svc.Stats(); st.Entries != 1 {
+		t.Errorf("entries after isolated failures = %d, want 1", st.Entries)
+	}
+}
+
+func TestConfigureBatchSizeBounds(t *testing.T) {
+	svc := stubService(t, Config{})
+	if results, err := svc.ConfigureBatch(context.Background(), nil); err != nil || len(results) != 0 {
+		t.Errorf("empty batch: results=%v err=%v", results, err)
+	}
+	oversized := make([]BatchItem, MaxBatchItems+1)
+	if _, err := svc.ConfigureBatch(context.Background(), oversized); !errors.Is(err, ErrBatchTooLarge) {
+		t.Errorf("oversized batch error = %v, want ErrBatchTooLarge", err)
+	}
+}
+
+// TestSingletonAttachesToBatchSearch: a singleton Configure arriving
+// while a batch is searching the same fingerprint attaches to the batch's
+// in-flight item instead of searching again.
+func TestSingletonAttachesToBatchSearch(t *testing.T) {
+	svc := stubService(t, Config{})
+	gateStarted = make(chan struct{}, 8)
+	gateRelease = make(chan struct{})
+	spec := testSpec(t, 0)
+	gated := RequestOptions{Method: "gate"}
+	before := gateSearches.Load()
+
+	var batchResults []BatchResult
+	var batchErr error
+	batchDone := make(chan struct{})
+	go func() {
+		defer close(batchDone)
+		batchResults, batchErr = svc.ConfigureBatch(context.Background(), []BatchItem{{Spec: spec, Options: gated}})
+	}()
+	<-gateStarted // the batch's search is in flight and holds the claim
+
+	var singleBody []byte
+	var singleErr error
+	singleDone := make(chan struct{})
+	go func() {
+		defer close(singleDone)
+		singleBody, _, singleErr = svc.ConfigureJSON(context.Background(), testSpec(t, 0), gated)
+	}()
+	// The singleton counts its miss before claiming the flight: once the
+	// second miss is visible it can only attach (the claim is held until
+	// the batch item finishes) or, post-finish, read the store.
+	for svc.Stats().Misses < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gateRelease)
+	<-batchDone
+	<-singleDone
+
+	if batchErr != nil || singleErr != nil {
+		t.Fatalf("batch err=%v singleton err=%v", batchErr, singleErr)
+	}
+	if got := gateSearches.Load() - before; got != 1 {
+		t.Errorf("batch + attached singleton ran %d searches, want 1", got)
+	}
+	if !bytes.Equal(batchResults[0].Body, singleBody) {
+		t.Error("attached singleton body differs from the batch item body")
+	}
+}
+
+// TestBatchAttachesToSingletonSearch is the mirror image: a batch item
+// whose fingerprint a singleton request is already searching waits for
+// that flight; the rest of the batch searches normally.
+func TestBatchAttachesToSingletonSearch(t *testing.T) {
+	svc := stubService(t, Config{})
+	gateStarted = make(chan struct{}, 8)
+	gateRelease = make(chan struct{})
+	shared := testSpec(t, 0)
+	gated := RequestOptions{Method: "gate"}
+	before := gateSearches.Load()
+
+	var singleBody []byte
+	var singleErr error
+	singleDone := make(chan struct{})
+	go func() {
+		defer close(singleDone)
+		singleBody, _, singleErr = svc.ConfigureJSON(context.Background(), shared, gated)
+	}()
+	<-gateStarted // the singleton leader is in flight
+
+	var results []BatchResult
+	var batchErr error
+	batchDone := make(chan struct{})
+	go func() {
+		defer close(batchDone)
+		results, batchErr = svc.ConfigureBatch(context.Background(), []BatchItem{
+			{Spec: testSpec(t, 0), Options: gated}, // in flight at the singleton
+			{Spec: testSpec(t, 1)},                 // fresh: searched by the batch (stub)
+		})
+	}()
+	// The batch runs its own misses before waiting on attached flights, so
+	// the fresh item completes while the shared one is still gated.
+	for svc.Stats().Misses < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gateRelease)
+	<-singleDone
+	<-batchDone
+
+	if singleErr != nil || batchErr != nil {
+		t.Fatalf("singleton err=%v batch err=%v", singleErr, batchErr)
+	}
+	if got := gateSearches.Load() - before; got != 1 {
+		t.Errorf("singleton + attached batch item ran %d gated searches, want 1", got)
+	}
+	if !bytes.Equal(results[0].Body, singleBody) {
+		t.Error("attached batch item body differs from the singleton body")
+	}
+	if results[1].Err != nil || len(results[1].Body) == 0 {
+		t.Errorf("fresh batch item: err=%v body=%d bytes", results[1].Err, len(results[1].Body))
+	}
+}
+
+// TestBatchWindowCoalescesSingletonMisses: with -batch-window style
+// coalescing on, a cold burst of singleton requests drains into pooled
+// batch runs — every miss is served, every body is stored, and the
+// coalesced counter accounts for each one.
+func TestBatchWindowCoalescesSingletonMisses(t *testing.T) {
+	const burst = 6
+	svc := stubService(t, Config{BatchWindow: 40 * time.Millisecond, BatchWorkers: 4})
+	before := stubSearches.Load()
+
+	var wg sync.WaitGroup
+	errs := make([]error, burst)
+	bodies := make([][]byte, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bodies[i], _, errs[i] = svc.ConfigureJSON(context.Background(), testSpec(t, i), RequestOptions{})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+		if len(bodies[i]) == 0 {
+			t.Fatalf("caller %d got an empty body", i)
+		}
+	}
+	if got := stubSearches.Load() - before; got != burst {
+		t.Errorf("coalesced burst ran %d searches, want %d", got, burst)
+	}
+	st := svc.Stats()
+	if st.Coalesced != burst {
+		t.Errorf("coalesced = %d, want %d", st.Coalesced, burst)
+	}
+	if st.BatchRuns < 1 || st.BatchRuns > burst {
+		t.Errorf("batch runs = %d, want 1..%d", st.BatchRuns, burst)
+	}
+	if st.Misses != burst || st.Entries != burst {
+		t.Errorf("stats after coalesced burst: %+v", st)
+	}
+
+	// Warm requests bypass the coalescer entirely: hits never wait on the
+	// window and the coalesced counter stays put.
+	if _, hit, err := svc.ConfigureJSON(context.Background(), testSpec(t, 0), RequestOptions{}); err != nil || !hit {
+		t.Fatalf("warm request after coalesced burst: hit=%v err=%v", hit, err)
+	}
+	if got := svc.Stats().Coalesced; got != burst {
+		t.Errorf("a cache hit moved the coalesced counter to %d", got)
+	}
+}
+
+// TestCloseFailsParkedWindow: closing the service mid-window fails the
+// parked request cleanly (no search runs against the closed store) and a
+// fresh request after close is refused by the coalescer, not wedged.
+func TestCloseFailsParkedWindow(t *testing.T) {
+	svc, err := New(Config{Method: "stub", BatchWindow: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := svc.ConfigureJSON(context.Background(), testSpec(t, 0), RequestOptions{})
+		errc <- err
+	}()
+	// Wait until the miss is parked with the coalescer, then close.
+	for {
+		svc.coal.mu.Lock()
+		parked := len(svc.coal.pending)
+		svc.coal.mu.Unlock()
+		if parked == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	before := stubSearches.Load()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; !errors.Is(err, errServiceClosed) {
+		t.Errorf("parked request error = %v, want errServiceClosed", err)
+	}
+	if got := stubSearches.Load() - before; got != 0 {
+		t.Errorf("close ran %d searches for parked misses, want 0", got)
+	}
+	// Post-close misses fail immediately instead of parking forever.
+	if _, _, err := svc.ConfigureJSON(context.Background(), testSpec(t, 1), RequestOptions{}); !errors.Is(err, errServiceClosed) {
+		t.Errorf("post-close request error = %v, want errServiceClosed", err)
+	}
+}
+
+// TestEvaluateNChunksLockHolds: a big evaluate batch re-acquires per
+// 64-run chunk — amortized against the lock-per-run loop, but bounded so
+// one caller cannot hold a shard for MaxEvaluateRuns runs.
+func TestEvaluateNChunksLockHolds(t *testing.T) {
+	pool, err := newRunnerPool(testSpec(t, 0), workflow.RunnerOptions{Seed: 42}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := pool.locks.Load()
+	results, err := pool.evaluateN(testSpec(t, 0).Base, 130)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 130 {
+		t.Fatalf("got %d results, want 130", len(results))
+	}
+	if got := pool.locks.Load() - before; got != 3 {
+		t.Errorf("130 runs acquired %d shard locks, want 3 (chunks of %d)", got, evaluateChunk)
+	}
+}
+
+func TestBatchResultRecommendation(t *testing.T) {
+	svc := stubService(t, Config{})
+	results, err := svc.ConfigureBatch(context.Background(), []BatchItem{{Spec: testSpec(t, 0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := results[0].Recommendation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Fingerprint != results[0].Fingerprint || len(rec.Assignment) == 0 {
+		t.Errorf("decoded recommendation %+v", rec)
+	}
+	failed := BatchResult{Err: errors.New("nope")}
+	if _, err := failed.Recommendation(); err == nil {
+		t.Error("Recommendation on a failed item did not error")
+	}
+}

@@ -1,0 +1,54 @@
+package service
+
+import (
+	"testing"
+
+	"aarc/internal/workflow"
+	"aarc/internal/workloads"
+)
+
+// BenchmarkEvaluateN compares the evaluate batch path against the
+// lock-per-run loop it replaced: one shard-lock acquisition per 64-run
+// chunk instead of one per run. The locks/run metric is the amortization
+// itself — 1/evaluateChunk for the batched path, 1 for the loop; it is
+// what contention multiplies, so it matters even where the uncontended
+// wall-time difference sits inside noise.
+//
+//	go test ./internal/service -bench=BenchmarkEvaluateN -benchtime=100x -run='^$'
+func BenchmarkEvaluateN(b *testing.B) {
+	spec, err := workloads.ByName("chatbot")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool, err := newRunnerPool(spec, workflow.RunnerOptions{HostCores: 96, Noise: true, Seed: 42}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const runs = 64
+	b.Run("LockPerRun", func(b *testing.B) {
+		start := pool.locks.Load()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < runs; j++ {
+				if _, err := pool.evaluate(spec.Base); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(pool.locks.Load()-start)/float64(b.N*runs), "locks/run")
+	})
+	b.Run("Batched", func(b *testing.B) {
+		start := pool.locks.Load()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := pool.evaluateN(spec.Base, runs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res) != runs {
+				b.Fatalf("got %d results, want %d", len(res), runs)
+			}
+		}
+		b.ReportMetric(float64(pool.locks.Load()-start)/float64(b.N*runs), "locks/run")
+	})
+}

@@ -21,6 +21,7 @@ import (
 //	GET    /healthz                    liveness + cache/store stats
 //	GET    /v1/methods                 the search method registry (+versions)
 //	POST   /v1/configure               spec+options -> Recommendation (cache-aware)
+//	POST   /v1/configure:batch         a list of configure requests as one admission
 //	GET    /v1/recommendation/{fp}     fingerprint-addressed fast path (no spec body)
 //	DELETE /v1/recommendation/{fp}     explicit invalidation across all store tiers
 //	POST   /v1/dispatch                input-aware request -> class + configuration
@@ -86,6 +87,57 @@ func NewHandler(s *Service) http.Handler {
 		}
 		writeCached(w, body, hit)
 	})
+	mux.HandleFunc("POST /v1/configure:batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchConfigureRequest
+		if err := readJSON(w, r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(req.Requests) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("batch: empty \"requests\""))
+			return
+		}
+		if len(req.Requests) > MaxBatchItems {
+			writeError(w, http.StatusBadRequest, ErrBatchTooLarge)
+			return
+		}
+		// Decode every item's spec up front; a bad item keeps its slot (a
+		// per-item 400) without failing the batch.
+		items := make([]BatchItem, len(req.Requests))
+		decodeErrs := make([]error, len(req.Requests))
+		for i, cr := range req.Requests {
+			spec, err := cr.spec()
+			if err != nil {
+				decodeErrs[i] = err
+				continue
+			}
+			items[i] = BatchItem{Spec: spec, Options: cr.options()}
+		}
+		results, err := s.ConfigureBatch(r.Context(), items)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		out := batchConfigureResponse{Results: make([]batchItemResponse, len(results))}
+		for i := range results {
+			item := &out.Results[i]
+			if decodeErrs[i] != nil {
+				item.Status = http.StatusBadRequest
+				item.Error = decodeErrs[i].Error()
+				continue
+			}
+			if results[i].Err != nil {
+				item.Status = statusOf(results[i].Err)
+				item.Error = results[i].Err.Error()
+				continue
+			}
+			item.Status = http.StatusOK
+			item.Cache = cacheHeader(results[i].CacheHit)
+			item.Fingerprint = results[i].Fingerprint
+			item.Recommendation = json.RawMessage(results[i].Body)
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
 	mux.HandleFunc("GET /v1/recommendation/{fp}", func(w http.ResponseWriter, r *http.Request) {
 		body, err := s.RecommendationJSON(r.PathValue("fp"))
 		if err != nil {
@@ -148,7 +200,15 @@ func NewHandler(s *Service) http.Handler {
 		}
 		results, err := s.Evaluate(req.Fingerprint, a, req.Runs)
 		if err != nil {
-			writeError(w, statusOf(err), err)
+			// Evaluate may have completed some runs before failing; the
+			// partial results are dropped, but the count tells the client
+			// how far the batch got (always 0 today — per-run errors are
+			// deterministic for a fixed assignment — but the contract is
+			// explicit rather than silently lossy).
+			writeJSON(w, statusOf(err), map[string]any{
+				"error":          err.Error(),
+				"completed_runs": len(results),
+			})
 			return
 		}
 		out := evaluateResponse{Fingerprint: req.Fingerprint}
@@ -210,6 +270,30 @@ func (rk requestKnobs) options() RequestOptions {
 type configureRequest struct {
 	specSource
 	requestKnobs
+}
+
+// batchConfigureRequest is the wire form of POST /v1/configure:batch: a
+// list of ordinary configure requests, answered as one admission.
+type batchConfigureRequest struct {
+	Requests []configureRequest `json:"requests"`
+}
+
+// batchItemResponse is one slot of a batch response, index-aligned with
+// the request. Status is the HTTP status the item would have earned as a
+// singleton request; the envelope itself is 200 whenever the batch was
+// well-formed. Recommendation carries the stored pre-marshaled bytes, so
+// an item's recommendation JSON is identical to the singleton response
+// for the same fingerprint.
+type batchItemResponse struct {
+	Status         int             `json:"status"`
+	Cache          string          `json:"cache,omitempty"` // hit|miss, like X-Aarc-Cache
+	Fingerprint    string          `json:"fingerprint,omitempty"`
+	Recommendation json.RawMessage `json:"recommendation,omitempty"`
+	Error          string          `json:"error,omitempty"`
+}
+
+type batchConfigureResponse struct {
+	Results []batchItemResponse `json:"results"`
 }
 
 type dispatchRequest struct {
@@ -276,7 +360,7 @@ func statusOf(err error) int {
 	switch {
 	case errors.Is(err, ErrUnknownFingerprint):
 		return http.StatusNotFound
-	case errors.Is(err, ErrTooManyRuns):
+	case errors.Is(err, ErrTooManyRuns), errors.Is(err, ErrBatchTooLarge), errors.Is(err, errNilSpec):
 		return http.StatusBadRequest
 	default:
 		return http.StatusInternalServerError

@@ -207,6 +207,141 @@ func TestHTTPDispatchAndEvaluate(t *testing.T) {
 	}
 }
 
+func TestHTTPConfigureBatch(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	before := stubSearches.Load()
+
+	// Four slots: two unique specs, one batch-internal duplicate, one bad
+	// workload that must fail only its own slot.
+	body := fmt.Sprintf(`{"requests": [
+		{"spec": %s},
+		{"spec": %s},
+		{"spec": %s},
+		{"workload": "nope"}
+	]}`, specBody(t, 0), specBody(t, 1), specBody(t, 0))
+	resp, b := postJSON(t, ts.URL+"/v1/configure:batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, b)
+	}
+	var out struct {
+		Results []struct {
+			Status         int             `json:"status"`
+			Cache          string          `json:"cache"`
+			Fingerprint    string          `json:"fingerprint"`
+			Recommendation *Recommendation `json:"recommendation"`
+			Error          string          `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("batch response is not JSON: %v\n%s", err, b)
+	}
+	if len(out.Results) != 4 {
+		t.Fatalf("got %d results, want 4: %s", len(out.Results), b)
+	}
+	for i := 0; i < 3; i++ {
+		r := out.Results[i]
+		if r.Status != http.StatusOK || r.Cache != "miss" || r.Recommendation == nil || !strings.HasPrefix(r.Fingerprint, "sha256:") {
+			t.Errorf("item %d = %+v, want 200/miss with a recommendation", i, r)
+		}
+	}
+	if out.Results[2].Fingerprint != out.Results[0].Fingerprint {
+		t.Error("duplicate item resolved to a different fingerprint")
+	}
+	if r := out.Results[3]; r.Status != http.StatusBadRequest || r.Error == "" || r.Recommendation != nil {
+		t.Errorf("bad item = %+v, want a per-item 400 with an error", r)
+	}
+	if got := stubSearches.Load() - before; got != 2 {
+		t.Errorf("batch of 2 unique specs ran %d searches, want 2", got)
+	}
+
+	// The whole batch again: every healthy slot is a cache hit, and the
+	// recommendation bytes match what the singleton endpoint serves.
+	resp, b = postJSON(t, ts.URL+"/v1/configure:batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm batch status %d: %s", resp.StatusCode, b)
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if out.Results[i].Status != http.StatusOK || out.Results[i].Cache != "hit" {
+			t.Errorf("warm item %d = status %d cache %q, want 200/hit", i, out.Results[i].Status, out.Results[i].Cache)
+		}
+	}
+	_, single := postJSON(t, ts.URL+"/v1/configure", fmt.Sprintf(`{"spec": %s}`, specBody(t, 0)))
+	var singleRec Recommendation
+	if err := json.Unmarshal(single, &singleRec); err != nil {
+		t.Fatal(err)
+	}
+	if out.Results[0].Recommendation.Fingerprint != singleRec.Fingerprint {
+		t.Error("batch item and singleton configure disagree on the fingerprint")
+	}
+	_ = svc
+}
+
+func TestHTTPConfigureBatchRejectsMalformed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, body := range map[string]string{
+		"empty":        `{"requests": []}`,
+		"missing":      `{}`,
+		"invalid json": `{"requests": [`,
+	} {
+		resp, b := postJSON(t, ts.URL+"/v1/configure:batch", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", name, resp.StatusCode, b)
+		}
+	}
+	// Oversized batches are rejected as a whole, before any work runs.
+	var sb strings.Builder
+	sb.WriteString(`{"requests": [`)
+	for i := 0; i <= MaxBatchItems; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"workload": "chatbot"}`)
+	}
+	sb.WriteString(`]}`)
+	before := stubSearches.Load()
+	resp, b := postJSON(t, ts.URL+"/v1/configure:batch", sb.String())
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch status %d, want 400: %s", resp.StatusCode, b)
+	}
+	if got := stubSearches.Load() - before; got != 0 {
+		t.Errorf("oversized batch still ran %d searches", got)
+	}
+}
+
+// TestHTTPEvaluateErrorReportsCompletedRuns: when an evaluate batch
+// fails, the error body says how many runs completed instead of silently
+// discarding the partial progress.
+func TestHTTPEvaluateErrorReportsCompletedRuns(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, cb := postJSON(t, ts.URL+"/v1/configure", fmt.Sprintf(`{"spec": %s}`, specBody(t, 0)))
+	var rec Recommendation
+	if err := json.Unmarshal(cb, &rec); err != nil {
+		t.Fatal(err)
+	}
+	// An assignment missing the "out" group fails inside the runner.
+	resp, b := postJSON(t, ts.URL+"/v1/evaluate", fmt.Sprintf(
+		`{"fingerprint": %q, "runs": 3, "assignment": {"in": {"cpu": 1, "mem_mb": 512}}}`, rec.Fingerprint))
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("evaluate with a broken assignment returned 200: %s", b)
+	}
+	var e struct {
+		Error         string `json:"error"`
+		CompletedRuns *int   `json:"completed_runs"`
+	}
+	if err := json.Unmarshal(b, &e); err != nil {
+		t.Fatalf("error body is not JSON: %v\n%s", err, b)
+	}
+	if e.Error == "" || e.CompletedRuns == nil {
+		t.Errorf("error body missing error/completed_runs: %s", b)
+	}
+	if e.CompletedRuns != nil && *e.CompletedRuns != 0 {
+		t.Errorf("completed_runs = %d, want 0 (the first run fails)", *e.CompletedRuns)
+	}
+}
+
 func TestHTTPMethodsAndHealthz(t *testing.T) {
 	svc, ts := newTestServer(t, Config{})
 

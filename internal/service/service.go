@@ -49,7 +49,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"aarc/internal/experiments"
 	"aarc/internal/inputaware"
 	"aarc/internal/resources"
 	"aarc/internal/search"
@@ -72,6 +74,17 @@ type Config struct {
 	MaxSimCostMS float64 // server-side simulated-time cap per search; 0 = unlimited
 	CacheSize    int     // max in-memory entries; default 128
 	Shards       int     // runners per fingerprint's pool; default GOMAXPROCS
+
+	// BatchWorkers bounds how many searches one batched configure run
+	// (ConfigureBatch, or a drained coalescing window) executes
+	// concurrently; 0 selects GOMAXPROCS.
+	BatchWorkers int
+	// BatchWindow, when positive, coalesces singleton Configure misses:
+	// the first miss waits up to this long for other distinct misses and
+	// the whole queue drains into one pooled batch run, amortizing worker
+	// startup across the burst. Zero (the default) keeps the classic
+	// search-per-miss path. Cache hits never wait on the window.
+	BatchWindow time.Duration
 
 	// CacheDir, when set (and Store is nil), stores recommendations in a
 	// tiered store: a CacheSize-bounded memory tier over a durable disk
@@ -156,6 +169,8 @@ type Stats struct {
 	Searches    int64          `json:"searches"`     // underlying searches actually run
 	Evictions   int64          `json:"evictions"`    // entries dropped by a capacity bound (store + engine cache)
 	StoreErrors int64          `json:"store_errors"` // store reads/writes that failed and were degraded
+	BatchRuns   int64          `json:"batch_runs"`   // pooled batch search runs (ConfigureBatch + drained windows)
+	Coalesced   int64          `json:"coalesced"`    // singleton misses absorbed into a window's pooled run
 	Entries     int            `json:"entries"`      // recommendations currently stored
 	Engines     int            `json:"engines"`      // dispatch engines currently cached (process-private)
 	Store       string         `json:"store"`        // store kind: memory, disk, tiered, custom
@@ -167,6 +182,8 @@ type Service struct {
 	cfg    Config
 	st     store.Store
 	flight flightGroup
+	batch  *experiments.Pool // bounds concurrent searches per batched run
+	coal   *coalescer        // non-nil only when Config.BatchWindow > 0
 
 	mu      sync.Mutex
 	pools   *lruCache // fingerprint -> *entry (process-private runner pools)
@@ -177,6 +194,8 @@ type Service struct {
 	searches  atomic.Int64
 	evictions atomic.Int64
 	storeErrs atomic.Int64
+	batchRuns atomic.Int64
+	coalesced atomic.Int64
 }
 
 // New builds a Service. Zero Config fields take the documented defaults;
@@ -205,17 +224,29 @@ func New(cfg Config) (*Service, error) {
 			st = store.NewMemory(cfg.CacheSize)
 		}
 	}
-	return &Service{
+	s := &Service{
 		cfg:     cfg,
 		st:      st,
+		batch:   experiments.NewPool(cfg.BatchWorkers),
 		pools:   newLRUCache(cfg.CacheSize),
 		engines: newLRUCache(cfg.CacheSize),
-	}, nil
+	}
+	if cfg.BatchWindow > 0 {
+		s.coal = &coalescer{s: s, window: cfg.BatchWindow}
+	}
+	return s, nil
 }
 
 // Close releases the backing store (flushing nothing: durable tiers are
-// written through at Put time, so shutdown has no persistence step).
-func (s *Service) Close() error { return s.st.Close() }
+// written through at Put time, so shutdown has no persistence step) and
+// shuts the miss coalescer, failing any flights still parked in an
+// unfired window so no search starts against the closed store.
+func (s *Service) Close() error {
+	if s.coal != nil {
+		s.coal.close()
+	}
+	return s.st.Close()
+}
 
 // Methods lists the registered search methods, sorted.
 func (s *Service) Methods() []string { return search.Methods() }
@@ -232,6 +263,8 @@ func (s *Service) Stats() Stats {
 		Searches:    s.searches.Load(),
 		Evictions:   s.evictions.Load() + ss.Evictions,
 		StoreErrors: s.storeErrs.Load(),
+		BatchRuns:   s.batchRuns.Load(),
+		Coalesced:   s.coalesced.Load(),
 		Entries:     s.st.Len(),
 		Engines:     engines,
 		Store:       ss.Kind,
@@ -437,26 +470,61 @@ func (s *Service) configure(ctx context.Context, spec *workflow.Spec, ro Request
 		return fp, se.Body, true, nil
 	}
 	s.misses.Add(1)
-	v, err, _ := s.flight.do(ctx, fp, func() (any, error) {
-		// Re-check under singleflight: the previous leader may have filled
-		// the store between this caller's miss and its turn as leader.
-		if se, ok := s.getStore(fp); ok {
-			return se.Body, nil
-		}
-		e, se, err := s.runSearch(ctx, fp, spec, r)
-		if err != nil {
-			// Failed searches are never written to any tier: the store
-			// stays untouched and the next request retries.
-			return nil, err
-		}
-		s.putStore(fp, se)
-		s.putPool(fp, e)
-		return se.Body, nil
-	})
+	c, leader := s.flight.claim(fp)
+	if !leader {
+		// Another caller — a singleton leader, a batch item, or a queued
+		// coalescer miss — is already searching this fingerprint: wait for
+		// its result.
+		body, err = s.flightResult(ctx, c)
+		return fp, body, false, err
+	}
+	if s.coal != nil {
+		// Window coalescing: park the claimed miss with the coalescer,
+		// which drains the queue into one pooled batch run, then wait on
+		// our own flight like a follower. The coalescer owns finishing the
+		// flight (its run recovers panics), so no abandon is deferred here.
+		s.coal.enqueue(&pendingSearch{fp: fp, c: c, spec: spec, r: r})
+		body, err = s.flightResult(ctx, c)
+		return fp, body, false, err
+	}
+	// Classic path: this caller is the leader and searches inline. Abandon
+	// is deferred so a panic publishes a sentinel error to followers (see
+	// flightGroup) instead of an unset result.
+	defer s.flight.abandon(fp, c)
+	body, err = s.searchMiss(ctx, fp, spec, r)
+	s.flight.finish(fp, c, body, err)
 	if err != nil {
 		return fp, nil, false, err
 	}
-	return fp, v.([]byte), false, nil
+	return fp, body, false, nil
+}
+
+// flightResult waits on an in-flight call and narrows its value to the
+// served bytes.
+func (s *Service) flightResult(ctx context.Context, c *flightCall) ([]byte, error) {
+	v, err := s.flight.wait(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
+// searchMiss is the miss path behind an owned flight claim: re-check the
+// store (a previous leader may have filled it between this caller's miss
+// and its claim), search, persist, stash the runtime entry. Failed
+// searches are never written to any tier: the store stays untouched and
+// the next request retries.
+func (s *Service) searchMiss(ctx context.Context, fp string, spec *workflow.Spec, r resolved) ([]byte, error) {
+	if se, ok := s.getStore(fp); ok {
+		return se.Body, nil
+	}
+	e, se, err := s.runSearch(ctx, fp, spec, r)
+	if err != nil {
+		return nil, err
+	}
+	s.putStore(fp, se)
+	s.putPool(fp, e)
+	return se.Body, nil
 }
 
 // Configure returns the recommendation for (spec, options), searching at
@@ -716,9 +784,13 @@ var ErrTooManyRuns = fmt.Errorf("service: runs exceed the per-request bound %d",
 
 // Evaluate runs the workflow behind a configured fingerprint n times under
 // an arbitrary assignment (what-if probing), on the fingerprint's sharded
-// runner pool. A nil assignment evaluates the stored recommendation
-// itself. Works across restarts when the store is durable: the pool is
-// rebuilt from the stored canonical spec and runner options.
+// runner pool. The runs are executed in chunks of one shard-lock
+// acquisition each (runnerPool.evaluateN) — the batch amortization —
+// rather than paying a lock round-trip per run. A nil assignment evaluates the stored
+// recommendation itself. Works across restarts when the store is durable:
+// the pool is rebuilt from the stored canonical spec and runner options.
+// On a mid-run error the completed results are returned alongside it, so
+// callers (and the HTTP error body) can report how many runs finished.
 func (s *Service) Evaluate(fp string, a resources.Assignment, n int) ([]search.Result, error) {
 	if n <= 0 {
 		n = 1
@@ -737,15 +809,7 @@ func (s *Service) Evaluate(fp string, a resources.Assignment, n int) ([]search.R
 	if a == nil {
 		a = e.rec.ResourceAssignment()
 	}
-	out := make([]search.Result, 0, n)
-	for i := 0; i < n; i++ {
-		res, err := pool.evaluate(a)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, res)
-	}
-	return out, nil
+	return pool.evaluateN(a, n)
 }
 
 // Validate re-executes a fingerprint's recommended assignment n times on

@@ -2,56 +2,109 @@ package service
 
 import (
 	"context"
+	"errors"
 	"sync"
 )
 
 // flightGroup deduplicates concurrent work by key: the first caller for a
-// key becomes the leader and runs fn; every caller that arrives while the
-// leader is in flight waits for the leader's result instead of running fn
-// again. Unlike golang.org/x/sync/singleflight (not vendored here), the
-// wait is context-aware: a follower whose context is cancelled stops
-// waiting and returns its ctx.Err() while the leader keeps running — one
-// impatient client never aborts work other clients are waiting on.
+// key becomes the leader and owes the group a result; every caller that
+// arrives while the leader is in flight waits for the leader's result
+// instead of running the work again. Unlike golang.org/x/sync/singleflight
+// (not vendored here), the wait is context-aware: a follower whose context
+// is cancelled stops waiting and returns its ctx.Err() while the leader
+// keeps running — one impatient client never aborts work other clients
+// are waiting on.
+//
+// The group exposes its primitives (claim, wait, finish, abandon) as well
+// as the classic do wrapper: the batched configure path claims many keys
+// up front, runs them on a worker pool, and finishes each flight as its
+// item completes, so singleton callers attached to any one fingerprint
+// are released by that item, not by the whole batch.
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flightCall
 }
 
 type flightCall struct {
-	done chan struct{} // closed when val/err are set
-	val  any
-	err  error
+	done     chan struct{} // closed when val/err are published
+	val      any
+	err      error
+	finished bool // set by finish; read only by the leader side (abandon)
+}
+
+// errLeaderPanicked is published to followers when a leader dies without
+// producing a result (its fn panicked and was recovered further up, e.g.
+// by net/http). Without the sentinel, the deferred cleanup would close
+// done with val and err both unset, and followers would observe
+// (nil, nil) as success — a nil body the configure path would then
+// dereference.
+var errLeaderPanicked = errors.New("service: in-flight search abandoned (leader panicked)")
+
+// claim registers this caller for key. The first caller becomes the
+// leader (leader == true) and owes the group exactly one finish — or
+// abandon, deferred, if its work can panic — for the returned call; later
+// callers receive the existing in-flight call to wait on.
+func (g *flightGroup) claim(key string) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	return c, true
+}
+
+// wait blocks until the call's result is published or ctx is cancelled.
+func (g *flightGroup) wait(ctx context.Context, c *flightCall) (any, error) {
+	select {
+	case <-c.done:
+		return c.val, c.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// finish publishes the leader's result and releases the key. The result
+// fields are set before done is closed, so no waiter can observe a
+// half-published call; the key is deleted first, so a caller arriving
+// after finish starts a fresh flight rather than reading a stale one.
+func (g *flightGroup) finish(key string, c *flightCall, val any, err error) {
+	c.val, c.err = val, err
+	c.finished = true
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+}
+
+// abandon is the leader's deferred safety net: if the call was never
+// finished — the leader's fn panicked — it publishes errLeaderPanicked so
+// followers fail cleanly instead of reading an unset (nil, nil) as
+// success. A finished call is left alone.
+func (g *flightGroup) abandon(key string, c *flightCall) {
+	if c.finished {
+		return
+	}
+	g.finish(key, c, nil, errLeaderPanicked)
 }
 
 // do runs fn once per key among concurrent callers. shared reports whether
 // this caller received a leader's result rather than running fn itself.
 func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)) (val any, err error, shared bool) {
-	g.mu.Lock()
-	if g.m == nil {
-		g.m = make(map[string]*flightCall)
+	c, leader := g.claim(key)
+	if !leader {
+		val, err = g.wait(ctx, c)
+		return val, err, true
 	}
-	if c, ok := g.m[key]; ok {
-		g.mu.Unlock()
-		select {
-		case <-c.done:
-			return c.val, c.err, true
-		case <-ctx.Done():
-			return nil, ctx.Err(), true
-		}
-	}
-	c := &flightCall{done: make(chan struct{})}
-	g.m[key] = c
-	g.mu.Unlock()
-
-	// Cleanup is deferred so a panicking fn (recovered further up, e.g. by
-	// net/http) cannot leave a never-closed call in the map, which would
-	// block every future caller for this key forever.
-	defer func() {
-		g.mu.Lock()
-		delete(g.m, key)
-		g.mu.Unlock()
-		close(c.done)
-	}()
-	c.val, c.err = fn()
-	return c.val, c.err, false
+	// Abandon is deferred so a panicking fn (recovered further up, e.g. by
+	// net/http) publishes the sentinel error instead of leaving followers
+	// a (nil, nil) success or — worse — a never-closed call.
+	defer g.abandon(key, c)
+	val, err = fn()
+	g.finish(key, c, val, err)
+	return val, err, false
 }

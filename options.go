@@ -23,6 +23,9 @@ type settings struct {
 	shards     int         // NewService: 0 = GOMAXPROCS
 	cacheDir   string      // NewService: "" = memory-only store
 	store      store.Store // NewService: nil = built from cacheSize/cacheDir
+
+	batchWorkers int           // ConfigureBatch + NewService: 0 = GOMAXPROCS
+	batchWindow  time.Duration // NewService: 0 = no miss coalescing
 }
 
 func defaultSettings() settings {
@@ -122,6 +125,28 @@ func WithShards(n int) Option {
 // WithStore overrides it.
 func WithCacheDir(dir string) Option {
 	return func(s *settings) { s.cacheDir = dir }
+}
+
+// WithBatchWorkers bounds how many searches a batched configure run
+// executes concurrently: ConfigureBatch's worker pool, and — for
+// NewService — the pooled run behind Service.ConfigureBatch,
+// POST /v1/configure:batch and a drained WithBatchWindow queue. Zero
+// (the default) selects GOMAXPROCS. Configure and ConfigureClasses
+// ignore it.
+func WithBatchWorkers(n int) Option {
+	return func(s *settings) { s.batchWorkers = n }
+}
+
+// WithBatchWindow opts NewService into miss coalescing: a singleton
+// Configure cache miss waits up to d for other distinct misses, and the
+// whole queue drains into one WithBatchWorkers-wide pooled batch run —
+// so a cold burst of singleton requests amortizes like an explicit
+// batch. Cache hits never wait on the window; d is therefore the maximum
+// extra latency a cold request can pay. Zero (the default) keeps the
+// classic search-per-miss path. Configure, ConfigureBatch and
+// ConfigureClasses ignore it.
+func WithBatchWindow(d time.Duration) Option {
+	return func(s *settings) { s.batchWindow = d }
 }
 
 // WithStore plugs a caller-built recommendation store (see the Store

@@ -30,6 +30,13 @@ type (
 	// DispatchResult is the outcome of one input-aware dispatch: the input
 	// class and its pre-searched configuration.
 	DispatchResult = service.DispatchResult
+	// ServiceBatchItem is one configure request inside a
+	// Service.ConfigureBatch call: a spec plus its per-request options.
+	ServiceBatchItem = service.BatchItem
+	// ServiceBatchResult is the per-item outcome of Service.ConfigureBatch,
+	// index-aligned with the submitted items; failures are isolated per
+	// item in its Err field.
+	ServiceBatchResult = service.BatchResult
 
 	// Store is the pluggable recommendation storage contract behind the
 	// serving layer: Get/Put/Delete/Keys/Len/Close over fingerprint-keyed,
@@ -60,10 +67,12 @@ func NewTieredStore(fast, slow Store) Store { return store.NewTiered(fast, slow)
 // NewService builds the serving layer with the same functional options as
 // Configure (WithMethod, WithSeed, WithHostCores, WithNoise, WithSLO,
 // WithInputScale) plus the service-specific WithCacheSize, WithShards,
-// WithCacheDir and WithStore. A WithBudget budget becomes the server-side
-// cap: requests may tighten it, never exceed it. The error is the backing
-// store's (opening a cache directory can fail; a memory-only service
-// cannot). Close the service to release the store.
+// WithCacheDir, WithStore, WithBatchWorkers and WithBatchWindow (opt-in
+// coalescing of singleton cache misses into pooled batch runs). A
+// WithBudget budget becomes the server-side cap: requests may tighten
+// it, never exceed it. The error is the backing store's (opening a cache
+// directory can fail; a memory-only service cannot). Close the service
+// to release the store.
 func NewService(opts ...Option) (*Service, error) {
 	s := newSettings(opts)
 	return service.New(service.Config{
@@ -77,6 +86,8 @@ func NewService(opts ...Option) (*Service, error) {
 		MaxSimCostMS: s.maxSimMS,
 		CacheSize:    s.cacheSize,
 		Shards:       s.shards,
+		BatchWorkers: s.batchWorkers,
+		BatchWindow:  s.batchWindow,
 		CacheDir:     s.cacheDir,
 		Store:        s.store,
 	})

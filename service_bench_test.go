@@ -83,6 +83,60 @@ func BenchmarkServiceConfigure(b *testing.B) {
 	})
 }
 
+// BenchmarkServiceConfigureBatch measures batch admission on a cold burst
+// of distinct fingerprints — the regime the batcher exists for. Every
+// iteration mints `burst` fresh seeds (fresh fingerprints: every item
+// pays a full search) and answers them either as sequential singleton
+// Configure calls or as one ConfigureBatch; with enough cores the batched
+// run completes in ≈ max(single-search) wall time rather than ≈ the sum,
+// so ns/op is the whole comparison.
+//
+//	go test -bench=BenchmarkServiceConfigureBatch -benchtime=20x -run='^$' .
+func BenchmarkServiceConfigureBatch(b *testing.B) {
+	const burst = 8
+	b.Run("SequentialSingletons", func(b *testing.B) {
+		svc := benchService(b)
+		spec := benchSpec(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < burst; j++ {
+				seed := uint64(i*burst + j + 1)
+				_, hit, err := svc.Configure(context.Background(), spec, aarc.ServiceRequest{Seed: &seed})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if hit {
+					b.Fatal("cold iteration hit the cache")
+				}
+			}
+		}
+	})
+	b.Run("Batched", func(b *testing.B) {
+		svc := benchService(b)
+		spec := benchSpec(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			items := make([]aarc.ServiceBatchItem, burst)
+			for j := range items {
+				seed := uint64(i*burst + j + 1)
+				items[j] = aarc.ServiceBatchItem{Spec: spec, Options: aarc.ServiceRequest{Seed: &seed}}
+			}
+			results, err := svc.ConfigureBatch(context.Background(), items)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, res := range results {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+				if res.CacheHit {
+					b.Fatal("cold batch item hit the cache")
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkServiceFingerprintGet measures the fingerprint-addressed fast
 // path against the POST-configure hit path it bypasses. Direct is the
 // store lookup itself (no HTTP); HTTPGet and HTTPPostHit drive the
