@@ -25,10 +25,22 @@
 // distinct cold fingerprints completes in roughly max(single-search)
 // wall time instead of the sum. Cache hits never wait on the window.
 //
+// The daemon degrades rather than fails: the disk tier (when present)
+// sits behind a retry wrapper and a circuit breaker, so a failing disk
+// opens the breaker after -breaker-threshold consecutive errors and the
+// service keeps serving from memory; /readyz answers 503 while degraded
+// (and while draining on shutdown) so balancers route elsewhere, then
+// recovers via a half-open probe after -breaker-cooldown. Cold searches
+// are bounded by -search-timeout and capped by
+// -max-concurrent-searches (excess requests are shed with 429 +
+// Retry-After). -chaos-disk-down is a built-in drill that fails the
+// disk tier for a window at startup to exercise the whole path.
+//
 // Endpoints (see DESIGN.md §"Storage tiers" and the README for curl
 // examples):
 //
 //	GET    /healthz                 liveness + cache/store stats
+//	GET    /readyz                  readiness: 503 while draining or breaker-open
 //	GET    /v1/methods              the search method registry (+versions)
 //	POST   /v1/configure            {"workload":"chatbot"} or {"spec":{...}} -> recommendation
 //	POST   /v1/configure:batch      {"requests":[...]} -> per-item results, misses pooled
@@ -69,6 +81,16 @@ func main() {
 		maxSimMS    = flag.Float64("max-sim-cost-ms", 0, "server-side simulated-time cap per search (0 = unlimited)")
 		batchWork   = flag.Int("batch-workers", 0, "concurrent searches per batched configure run (0 = GOMAXPROCS)")
 		batchWindow = flag.Duration("batch-window", 0, "coalesce singleton configure misses for this long into one pooled run (0 = off)")
+
+		searchTimeout = flag.Duration("search-timeout", 0, "server-side deadline per cold search; timed-out searches fail, never cached (0 = unbounded)")
+		maxSearches   = flag.Int("max-concurrent-searches", 0, "cold searches allowed at once; excess singleton misses get 429 + Retry-After (0 = unlimited)")
+		breakerK      = flag.Int("breaker-threshold", 5, "consecutive disk failures that open the disk-tier breaker (with -cache-dir)")
+		breakerCool   = flag.Duration("breaker-cooldown", 15*time.Second, "how long an open breaker waits before its half-open probe")
+		chaosDiskDown = flag.Duration("chaos-disk-down", 0, "chaos drill: fail every disk op for this long after start, then recover (0 = off)")
+
+		readTimeout  = flag.Duration("read-timeout", time.Minute, "http.Server ReadTimeout: full request (headers+body) read deadline")
+		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout: response write deadline; bounds a request's total service time")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout: keep-alive connection idle deadline")
 	)
 	flag.Parse()
 
@@ -82,6 +104,10 @@ func main() {
 		aarc.WithShards(*shards),
 		aarc.WithBatchWorkers(*batchWork),
 		aarc.WithBatchWindow(*batchWindow),
+		aarc.WithSearchTimeout(*searchTimeout),
+		aarc.WithMaxConcurrentSearches(*maxSearches),
+		aarc.WithBreaker(*breakerK, *breakerCool),
+		aarc.WithChaosDiskOutage(*chaosDiskDown),
 		aarc.WithBudget(aarc.Budget{
 			MaxSamples: *maxSamples,
 			// Scale before converting: time.Duration(*maxSimMS) would
@@ -96,10 +122,17 @@ func main() {
 	// the store (there is no persistence step to lose on SIGKILL).
 	defer svc.Close()
 
+	// A search can legitimately take a while, so WriteTimeout (which
+	// bounds the whole response, search included) defaults generously;
+	// tighten it together with -search-timeout. Zero on any of these
+	// flags disables that deadline, matching net/http.
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           aarc.NewServiceHandler(svc),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -125,6 +158,9 @@ func main() {
 		log.Fatal(err)
 	case <-ctx.Done():
 		log.Print("shutting down")
+		// Flip /readyz to 503 first so balancers stop routing here, then
+		// let Shutdown finish the in-flight requests.
+		svc.BeginDrain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -53,7 +53,19 @@
 // HTTP API cmd/aarcd serves (/v1/configure, /v1/configure:batch,
 // /v1/recommendation/{fingerprint} — the fingerprint-addressed fast
 // path, GET to skip spec canonicalization entirely and DELETE to
-// invalidate — /v1/dispatch, /v1/evaluate, /v1/methods, /healthz).
+// invalidate — /v1/dispatch, /v1/evaluate, /v1/methods, /healthz,
+// /readyz).
+//
+// The serving layer degrades rather than fails: a WithCacheDir disk
+// tier sits behind bounded retries and a circuit breaker (WithBreaker),
+// so a dead disk is skipped after a few consecutive failures and the
+// service serves memory-only until a half-open probe heals the tier;
+// /readyz reports 503 while degraded or draining. WithSearchTimeout
+// bounds each cold search server-side (timed-out searches fail and are
+// never cached), WithMaxConcurrentSearches sheds excess cold traffic
+// with HTTP 429 + Retry-After, handler panics are recovered into JSON
+// 500s, and WithChaosDiskOutage is a built-in chaos drill that fails
+// the disk tier for a window at startup. See DESIGN.md section 10.
 //
 // Start with the examples, which use only this public API:
 //

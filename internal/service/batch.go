@@ -214,7 +214,7 @@ func (s *Service) searchPending(ctx context.Context, p *pendingSearch) {
 			s.flight.finish(p.fp, p.c, nil, fmt.Errorf("service: search for %s panicked: %v", p.fp, r))
 		}
 	}()
-	body, err := s.searchMiss(ctx, p.fp, p.spec, p.r)
+	body, err := s.searchMiss(ctx, p.fp, p.spec, p.r, false)
 	s.flight.finish(p.fp, p.c, body, err)
 }
 

@@ -2,10 +2,14 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"time"
 
 	"aarc/internal/inputaware"
@@ -19,6 +23,7 @@ import (
 // through net/http/httptest:
 //
 //	GET    /healthz                    liveness + cache/store stats
+//	GET    /readyz                     readiness: 503 while draining or breaker-open
 //	GET    /v1/methods                 the search method registry (+versions)
 //	POST   /v1/configure               spec+options -> Recommendation (cache-aware)
 //	POST   /v1/configure:batch         a list of configure requests as one admission
@@ -46,6 +51,25 @@ func NewHandler(s *Service) http.Handler {
 			"status":   "ok",
 			"uptime_s": time.Since(start).Seconds(),
 			"stats":    s.Stats(),
+		})
+	})
+	// Liveness (/healthz) and readiness (/readyz) split deliberately: a
+	// degraded service — disk tier down, breaker open, memory-only
+	// serving — is alive (don't restart it; its memory cache is the only
+	// warm copy) but not ready (route new traffic to healthy peers).
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		ok, reason := s.Ready()
+		if ok {
+			writeJSON(w, http.StatusOK, map[string]any{
+				"status":  "ready",
+				"breaker": s.BreakerState(),
+			})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":  "degraded",
+			"reason":  reason,
+			"breaker": s.BreakerState(),
 		})
 	})
 	// The registry is frozen after init, so the name->display table is
@@ -82,7 +106,7 @@ func NewHandler(s *Service) http.Handler {
 		}
 		body, hit, err := s.ConfigureJSON(r.Context(), spec, req.options())
 		if err != nil {
-			writeError(w, statusOf(err), err)
+			writeServiceError(s, w, err)
 			return
 		}
 		writeCached(w, body, hit)
@@ -115,7 +139,7 @@ func NewHandler(s *Service) http.Handler {
 		}
 		results, err := s.ConfigureBatch(r.Context(), items)
 		if err != nil {
-			writeError(w, statusOf(err), err)
+			writeServiceError(s, w, err)
 			return
 		}
 		out := batchConfigureResponse{Results: make([]batchItemResponse, len(results))}
@@ -175,7 +199,7 @@ func NewHandler(s *Service) http.Handler {
 		}
 		res, hit, err := s.Dispatch(r.Context(), spec, classes, req.Scale, req.options())
 		if err != nil {
-			writeError(w, statusOf(err), err)
+			writeServiceError(s, w, err)
 			return
 		}
 		w.Header().Set("X-Aarc-Cache", cacheHeader(hit))
@@ -223,7 +247,33 @@ func NewHandler(s *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
-	return mux
+	return recoverPanics(s, mux)
+}
+
+// recoverPanics is the outermost middleware: a panicking handler — or a
+// panicking searcher whose panic escapes the service layer — answers
+// 500 with a JSON error instead of killing the connection with an empty
+// reply, and is counted in Stats.Panics. http.ErrAbortHandler is
+// re-raised: it is net/http's own control flow for deliberately
+// aborting a response, not a failure. If the handler had already
+// started writing its response the 500 header cannot be sent; the
+// recovery (and the counter) still applies.
+func recoverPanics(s *Service, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.panics.Add(1)
+			log.Printf("service: recovered panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // specSource is the shared spec half of the POST bodies: exactly one of a
@@ -349,6 +399,16 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// writeServiceError maps a service-layer error onto the wire, attaching
+// the Retry-After hint when the request was shed by the admission cap —
+// a 429 without a retry hint just teaches clients to hammer.
+func writeServiceError(s *Service, w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrOverloaded) {
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
+	}
+	writeError(w, statusOf(err), err)
+}
+
 func cacheHeader(hit bool) string {
 	if hit {
 		return "hit"
@@ -362,6 +422,10 @@ func statusOf(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrTooManyRuns), errors.Is(err, ErrBatchTooLarge), errors.Is(err, errNilSpec):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
 	default:
 		return http.StatusInternalServerError
 	}

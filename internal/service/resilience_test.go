@@ -1,0 +1,425 @@
+package service
+
+// Degraded-path tests: the service keeps serving — and never poisons its
+// cache — while the store misbehaves, searches wedge, or handlers panic.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aarc/internal/search"
+	"aarc/internal/store"
+)
+
+// wedgedSearcher wedges its first Search call — it parks on a channel
+// and ignores its context entirely — and behaves like stubSearcher
+// afterwards: the adversarial case the server-side search deadline must
+// survive without leaking the singleflight claim or the admission slot.
+var (
+	wedgeStarted chan struct{}
+	wedgeForever chan struct{}
+	wedgeCalls   atomic.Int64
+)
+
+type wedgedSearcher struct{}
+
+func (wedgedSearcher) Name() string { return "Wedged" }
+
+func (wedgedSearcher) Search(ctx context.Context, ev search.Evaluator, opts search.Options) (search.Outcome, error) {
+	if wedgeCalls.Add(1) == 1 {
+		wedgeStarted <- struct{}{}
+		<-wedgeForever
+	}
+	return stubSearcher{}.Search(ctx, ev, opts)
+}
+
+// panickySearcher panics mid-search: the regression vehicle for the
+// recovery middleware and the flightGroup panic sentinel.
+type panickySearcher struct{}
+
+func (panickySearcher) Name() string { return "Panicky" }
+
+func (panickySearcher) Search(ctx context.Context, ev search.Evaluator, opts search.Options) (search.Outcome, error) {
+	panic("panicky: searcher exploded")
+}
+
+func init() {
+	search.Register("wedged", 1, func(seed uint64) search.Searcher { return wedgedSearcher{} })
+	search.Register("panicky", 1, func(seed uint64) search.Searcher { return panickySearcher{} })
+}
+
+// TestConfigureDegradesStoreReadFaults: a store whose every op fails
+// must not take Configure down — reads degrade to misses, writes to a
+// counter, and the search path still answers.
+func TestConfigureDegradesStoreReadFaults(t *testing.T) {
+	faulty := store.NewFaulty(store.NewMemory(16), store.FaultConfig{})
+	faulty.FailAll(nil)
+	svc := stubService(t, Config{Store: faulty})
+	spec := testSpec(t, 0)
+
+	rec, hit, err := svc.Configure(context.Background(), spec, RequestOptions{})
+	if err != nil {
+		t.Fatalf("Configure during total store outage: %v", err)
+	}
+	if hit {
+		t.Fatal("Configure reported a cache hit from an all-failing store")
+	}
+	if rec.Fingerprint == "" {
+		t.Fatal("Configure served an empty recommendation")
+	}
+	if got := svc.Stats().StoreErrors; got == 0 {
+		t.Fatal("store outage left StoreErrors at 0")
+	}
+
+	// Recovered store: the failed writes were degraded, not cached, so
+	// the next Configure re-searches and this time persists.
+	faulty.Recover()
+	before := stubSearches.Load()
+	if _, hit, err = svc.Configure(context.Background(), spec, RequestOptions{}); err != nil || hit {
+		t.Fatalf("post-recovery Configure: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err = svc.Configure(context.Background(), spec, RequestOptions{}); err != nil || !hit {
+		t.Fatalf("second post-recovery Configure: hit=%v err=%v", hit, err)
+	}
+	if got := stubSearches.Load() - before; got != 1 {
+		t.Fatalf("post-recovery searches = %d, want 1", got)
+	}
+}
+
+// TestWriteFaultsNeverPoisonCache: a store that fails every Put serves
+// each Configure from its own search — and byte-identically, because
+// failed writes leave no partial entry to serve later.
+func TestWriteFaultsNeverPoisonCache(t *testing.T) {
+	faulty := store.NewFaulty(store.NewMemory(16), store.FaultConfig{PutFailProb: 1})
+	svc := stubService(t, Config{Store: faulty})
+	spec := testSpec(t, 0)
+
+	first, _, err := svc.ConfigureJSON(context.Background(), spec, RequestOptions{})
+	if err != nil {
+		t.Fatalf("Configure with failing writes: %v", err)
+	}
+	if n := faulty.Len(); n != 0 {
+		t.Fatalf("store holds %d entries after failed writes, want 0", n)
+	}
+	// The runtime pool cache still remembers the entry in-process; the
+	// store itself must stay empty so no other process (and no restart)
+	// ever sees a write that reported failure.
+	second, hit, err := svc.ConfigureJSON(context.Background(), spec, RequestOptions{})
+	if err != nil {
+		t.Fatalf("second Configure: %v", err)
+	}
+	if hit {
+		t.Fatal("cache hit served from a store whose every Put failed")
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("re-searched recommendation differs from the first")
+	}
+}
+
+// TestOpenBreakerServesMemoryOnly is the headline degradation contract:
+// with the disk tier hard down, the breaker opens within Threshold
+// failures, a 64-way concurrent burst against a warm fingerprint
+// completes with zero errors and byte-identical bodies, the open
+// breaker short-circuits every disk touch, /readyz reports degraded,
+// and after the fault clears one half-open probe closes the breaker.
+func TestOpenBreakerServesMemoryOnly(t *testing.T) {
+	disk, err := store.OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := store.NewFaulty(disk, store.FaultConfig{})
+	retrier := store.NewRetry(faulty, store.RetryConfig{
+		BaseDelay: time.Microsecond, MaxDelay: time.Microsecond,
+	})
+	breaker := store.NewBreaker(retrier, store.BreakerConfig{
+		Threshold: 3,
+		Cooldown:  50 * time.Millisecond,
+		Logf:      t.Logf,
+	})
+	tiered := store.NewTiered(store.NewMemory(128), breaker)
+	svc := stubService(t, Config{Store: tiered, Breaker: breaker, Retrier: retrier})
+	handler := NewHandler(svc)
+	spec := testSpec(t, 0)
+
+	// Warm one fingerprint while healthy: it lands in both tiers.
+	want, _, err := svc.ConfigureJSON(context.Background(), spec, RequestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Disk goes hard down. Cold configures still succeed (memory tier
+	// takes the write) and their slow-tier failures trip the breaker.
+	faulty.FailAll(nil)
+	for i := 1; i <= 2; i++ {
+		if _, _, err := svc.Configure(context.Background(), testSpec(t, i), RequestOptions{}); err != nil {
+			t.Fatalf("cold Configure %d during disk outage: %v", i, err)
+		}
+	}
+	if got := breaker.State(); got != store.BreakerOpen {
+		t.Fatalf("breaker state after outage traffic = %v, want open", got)
+	}
+	if svc.Stats().Retries == 0 {
+		t.Fatal("retry tier saw a disk outage but Stats.Retries is 0")
+	}
+
+	rr := httptest.NewRecorder()
+	handler.ServeHTTP(rr, httptest.NewRequest("GET", "/readyz", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while breaker open = %d, want 503", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), "breaker") {
+		t.Fatalf("/readyz degraded body gives no reason: %s", rr.Body.String())
+	}
+
+	// 64-way burst against the warm fingerprint: all served from memory,
+	// byte-identical, zero errors — and zero ops reach the dead disk
+	// (the open breaker and the fast tier short-circuit it).
+	opsBefore := faulty.Ops()
+	const burst = 64
+	var wg sync.WaitGroup
+	errs := make([]error, burst)
+	bodies := make([][]byte, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bodies[i], _, errs[i] = svc.ConfigureJSON(context.Background(), spec, RequestOptions{})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < burst; i++ {
+		if errs[i] != nil {
+			t.Fatalf("burst caller %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(bodies[i], want) {
+			t.Fatalf("burst caller %d served different bytes", i)
+		}
+	}
+	if got := faulty.Ops() - opsBefore; got != 0 {
+		t.Fatalf("burst reached the dead disk %d times, want 0 (fast-fail)", got)
+	}
+
+	// Fault clears; after the cooldown the next disk op is the half-open
+	// probe, and its success closes the breaker.
+	faulty.Recover()
+	time.Sleep(60 * time.Millisecond)
+	if got := svc.BreakerState(); got != "half-open" {
+		t.Fatalf("breaker state after cooldown = %q, want half-open", got)
+	}
+	if _, _, err := svc.Configure(context.Background(), testSpec(t, 3), RequestOptions{}); err != nil {
+		t.Fatalf("post-recovery Configure: %v", err)
+	}
+	if got := breaker.State(); got != store.BreakerClosed {
+		t.Fatalf("breaker state after successful probe = %v, want closed", got)
+	}
+	rr = httptest.NewRecorder()
+	handler.ServeHTTP(rr, httptest.NewRequest("GET", "/readyz", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/readyz after recovery = %d, want 200", rr.Code)
+	}
+}
+
+// TestSearchTimeoutReleasesFlightAndSlot: a searcher that ignores its
+// context past SearchTimeout fails the leader and every follower with a
+// timeout error, caches nothing, and releases both the singleflight
+// claim and the admission slot — proved by a follow-up Configure on the
+// same fingerprint succeeding with MaxConcurrentSearches=1.
+func TestSearchTimeoutReleasesFlightAndSlot(t *testing.T) {
+	wedgeCalls.Store(0)
+	wedgeStarted = make(chan struct{}, 1)
+	wedgeForever = make(chan struct{})
+	t.Cleanup(func() { close(wedgeForever) })
+
+	svc := stubService(t, Config{
+		SearchTimeout:         100 * time.Millisecond,
+		MaxConcurrentSearches: 1,
+	})
+	ro := RequestOptions{Method: "wedged"}
+	spec := testSpec(t, 0)
+
+	var (
+		leaderErr   error
+		followerErr error
+		wg          sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = svc.Configure(context.Background(), spec, ro)
+	}()
+	<-wedgeStarted
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, followerErr = svc.Configure(context.Background(), spec, ro)
+	}()
+	wg.Wait()
+
+	for who, err := range map[string]error{"leader": leaderErr, "follower": followerErr} {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%s error = %v, want DeadlineExceeded", who, err)
+		}
+	}
+	if n := svc.st.Len(); n != 0 {
+		t.Fatalf("timed-out search cached %d entries, want 0", n)
+	}
+	if got := svc.Stats().SearchTimeouts; got == 0 {
+		t.Fatal("SearchTimeouts counter did not move")
+	}
+	// Flight and slot released: the same fingerprint configures cleanly
+	// (the wedged searcher delegates to stub from its second call on).
+	if _, _, err := svc.Configure(context.Background(), spec, ro); err != nil {
+		t.Fatalf("Configure after a timed-out leader: %v", err)
+	}
+}
+
+// TestLoadSheddingFailFast: with every admission slot busy, a
+// deadline-less singleton miss is refused immediately with
+// ErrOverloaded; on the wire that is 429 with a Retry-After hint. A
+// deadline-carrying miss waits, then sheds at its deadline.
+func TestLoadSheddingFailFast(t *testing.T) {
+	gateStarted = make(chan struct{}, 8)
+	gateRelease = make(chan struct{})
+	svc := stubService(t, Config{
+		SearchTimeout:         2 * time.Second,
+		MaxConcurrentSearches: 1,
+	})
+	handler := NewHandler(svc)
+	ro := RequestOptions{Method: "gate"}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, _, err := svc.Configure(context.Background(), testSpec(t, 0), ro); err != nil {
+			t.Errorf("gated Configure: %v", err)
+		}
+	}()
+	<-gateStarted // the slot is now held inside a parked search
+
+	if _, _, err := svc.Configure(context.Background(), testSpec(t, 1), ro); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("deadline-less miss at saturation = %v, want ErrOverloaded", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	if _, _, err := svc.Configure(ctx, testSpec(t, 2), ro); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("deadline-carrying miss at saturation = %v, want ErrOverloaded after waiting", err)
+	}
+	cancel()
+
+	body := `{"workload":"chatbot","method":"gate"}`
+	rr := httptest.NewRecorder()
+	handler.ServeHTTP(rr, httptest.NewRequest("POST", "/v1/configure", strings.NewReader(body)))
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("shed HTTP status = %d, want 429", rr.Code)
+	}
+	if ra := rr.Header().Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want %q (one search deadline)", ra, "2")
+	}
+	if got := svc.Stats().ShedRequests; got < 3 {
+		t.Fatalf("ShedRequests = %d, want >= 3", got)
+	}
+
+	close(gateRelease)
+	wg.Wait()
+}
+
+// TestReadyzDrain: /readyz flips to 503 the moment a drain begins, while
+// /healthz (liveness) stays 200 — the split that keeps balancers away
+// without getting the process killed.
+func TestReadyzDrain(t *testing.T) {
+	svc := stubService(t, Config{})
+	handler := NewHandler(svc)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		handler.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		return rr
+	}
+	if rr := get("/readyz"); rr.Code != http.StatusOK {
+		t.Fatalf("/readyz before drain = %d, want 200", rr.Code)
+	}
+	svc.BeginDrain()
+	rr := get("/readyz")
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining = %d, want 503", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), "draining") {
+		t.Fatalf("/readyz drain body gives no reason: %s", rr.Body.String())
+	}
+	if rr := get("/healthz"); rr.Code != http.StatusOK {
+		t.Fatalf("/healthz while draining = %d, want 200 (still alive)", rr.Code)
+	}
+}
+
+// TestPanicRecoveredAs500: a panicking searcher answers 500 with a JSON
+// error body instead of a torn connection, and is counted. Run twice to
+// prove the flightGroup key is not wedged by the panic either.
+func TestPanicRecoveredAs500(t *testing.T) {
+	svc := stubService(t, Config{})
+	handler := NewHandler(svc)
+
+	for attempt := 1; attempt <= 2; attempt++ {
+		body := `{"workload":"chatbot","method":"panicky"}`
+		rr := httptest.NewRecorder()
+		handler.ServeHTTP(rr, httptest.NewRequest("POST", "/v1/configure", strings.NewReader(body)))
+		if rr.Code != http.StatusInternalServerError {
+			t.Fatalf("attempt %d: status = %d, want 500", attempt, rr.Code)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rr.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Fatalf("attempt %d: 500 body is not the JSON error envelope: %s", attempt, rr.Body.String())
+		}
+		if got := svc.Stats().Panics; got != int64(attempt) {
+			t.Fatalf("attempt %d: Stats.Panics = %d, want %d", attempt, got, attempt)
+		}
+	}
+}
+
+// TestPanicUnderSearchTimeout: the deadline goroutine re-raises searcher
+// panics on the request goroutine, so the recovery middleware and the
+// panics counter behave identically with and without a timeout.
+func TestPanicUnderSearchTimeout(t *testing.T) {
+	svc := stubService(t, Config{SearchTimeout: time.Second})
+	handler := NewHandler(svc)
+
+	body := `{"workload":"chatbot","method":"panicky"}`
+	rr := httptest.NewRecorder()
+	handler.ServeHTTP(rr, httptest.NewRequest("POST", "/v1/configure", strings.NewReader(body)))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rr.Code)
+	}
+	if got := svc.Stats().Panics; got != 1 {
+		t.Fatalf("Stats.Panics = %d, want 1", got)
+	}
+}
+
+// TestStatsCarriesResilienceFields: the new observability fields survive
+// the JSON round trip under their documented names.
+func TestStatsCarriesResilienceFields(t *testing.T) {
+	svc := stubService(t, Config{})
+	b, err := json.Marshal(svc.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"retries", "shed_requests", "search_timeouts", "panics", "breaker_state"} {
+		if !strings.Contains(string(b), fmt.Sprintf("%q", field)) {
+			t.Fatalf("Stats JSON missing %q: %s", field, b)
+		}
+	}
+	if svc.BreakerState() != "none" {
+		t.Fatalf("memory-only BreakerState = %q, want none", svc.BreakerState())
+	}
+}

@@ -45,6 +45,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -86,14 +88,53 @@ type Config struct {
 	// search-per-miss path. Cache hits never wait on the window.
 	BatchWindow time.Duration
 
+	// SearchTimeout, when positive, is the server-side deadline applied
+	// to every detached leader search: a search that has not returned by
+	// then releases its singleflight claim with a timeout error — served
+	// to the leader and every follower, never cached — instead of
+	// holding the flight slot forever. A cooperative searcher observes
+	// the deadline through its context; a truly wedged one leaks its
+	// goroutine but neither its flight nor its admission slot.
+	SearchTimeout time.Duration
+	// MaxConcurrentSearches, when positive, caps how many cold searches
+	// run at once across the whole service. A singleton miss that cannot
+	// get a slot is shed fail-fast (ErrOverloaded — HTTP 429 with
+	// Retry-After) when its context carries no deadline, or waits for a
+	// slot until that deadline otherwise. Batched and coalesced runs
+	// wait for slots (their concurrency is already bounded by the batch
+	// pool). Zero disables the cap.
+	MaxConcurrentSearches int
+
+	// BreakerThreshold and BreakerCooldown tune the circuit breaker
+	// wrapped around the disk tier of a CacheDir store: Threshold
+	// consecutive disk failures open it (fail-fast, memory-only
+	// serving), and after Cooldown a single probe op decides between
+	// closing it and re-opening. Defaults 5 and 15s.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// ChaosDiskDown, when positive (and CacheDir is set), wraps the disk
+	// tier in a deterministic fault injector that fails every disk op
+	// for the first ChaosDiskDown of the process's life, then recovers —
+	// a built-in chaos drill that exercises the breaker open → half-open
+	// → closed path end to end (aarcd -chaos-disk-down).
+	ChaosDiskDown time.Duration
+
 	// CacheDir, when set (and Store is nil), stores recommendations in a
 	// tiered store: a CacheSize-bounded memory tier over a durable disk
-	// tier rooted here, warmed from disk on construction. Restarts serve
-	// the previous process's entries as hits.
+	// tier rooted here — behind a Retry and a Breaker wrapper — warmed
+	// from disk on construction. Restarts serve the previous process's
+	// entries as hits.
 	CacheDir string
-	// Store, when non-nil, is used as-is (CacheSize and CacheDir are
-	// ignored). The Service takes ownership: Close closes it.
+	// Store, when non-nil, is used as-is (CacheSize, CacheDir and the
+	// breaker/retry wrapping are skipped). The Service takes ownership:
+	// Close closes it.
 	Store store.Store
+	// Breaker and Retrier, optional with a caller-built Store, let the
+	// service observe (Stats, /readyz) a breaker and retry wrapper
+	// inside that store. Both are set automatically for CacheDir stores.
+	Breaker *store.Breaker
+	Retrier *store.Retry
 }
 
 // RequestOptions carries the per-request knobs of Configure and Dispatch.
@@ -164,17 +205,22 @@ type DispatchResult struct {
 
 // Stats counts the service's cache behavior since construction.
 type Stats struct {
-	Hits        int64          `json:"hits"`         // answered from the store, no search machinery touched
-	Misses      int64          `json:"misses"`       // had to run — or wait on — a search
-	Searches    int64          `json:"searches"`     // underlying searches actually run
-	Evictions   int64          `json:"evictions"`    // entries dropped by a capacity bound (store + engine cache)
-	StoreErrors int64          `json:"store_errors"` // store reads/writes that failed and were degraded
-	BatchRuns   int64          `json:"batch_runs"`   // pooled batch search runs (ConfigureBatch + drained windows)
-	Coalesced   int64          `json:"coalesced"`    // singleton misses absorbed into a window's pooled run
-	Entries     int            `json:"entries"`      // recommendations currently stored
-	Engines     int            `json:"engines"`      // dispatch engines currently cached (process-private)
-	Store       string         `json:"store"`        // store kind: memory, disk, tiered, custom
-	Tiers       map[string]int `json:"tiers"`        // per-tier entry counts
+	Hits           int64          `json:"hits"`            // answered from the store, no search machinery touched
+	Misses         int64          `json:"misses"`          // had to run — or wait on — a search
+	Searches       int64          `json:"searches"`        // underlying searches actually run
+	Evictions      int64          `json:"evictions"`       // entries dropped by a capacity bound (store + engine cache)
+	StoreErrors    int64          `json:"store_errors"`    // store reads/writes that failed and were degraded
+	BatchRuns      int64          `json:"batch_runs"`      // pooled batch search runs (ConfigureBatch + drained windows)
+	Coalesced      int64          `json:"coalesced"`       // singleton misses absorbed into a window's pooled run
+	Retries        int64          `json:"retries"`         // store ops recovered (or attempted) by the retry tier
+	ShedRequests   int64          `json:"shed_requests"`   // cold searches refused by the concurrency cap (HTTP 429)
+	SearchTimeouts int64          `json:"search_timeouts"` // searches cut off by the server-side deadline
+	Panics         int64          `json:"panics"`          // handler panics recovered into 500s
+	BreakerState   string         `json:"breaker_state"`   // closed | open | half-open, or none without a breaker
+	Entries        int            `json:"entries"`         // recommendations currently stored
+	Engines        int            `json:"engines"`         // dispatch engines currently cached (process-private)
+	Store          string         `json:"store"`           // store kind: memory, disk, tiered, custom
+	Tiers          map[string]int `json:"tiers"`           // per-tier entry counts
 }
 
 // Service is the long-lived serving layer. It is safe for concurrent use.
@@ -185,17 +231,26 @@ type Service struct {
 	batch  *experiments.Pool // bounds concurrent searches per batched run
 	coal   *coalescer        // non-nil only when Config.BatchWindow > 0
 
+	sem     chan struct{}  // MaxConcurrentSearches slots; nil = uncapped
+	breaker *store.Breaker // disk-tier breaker; nil without one
+	retrier *store.Retry   // disk-tier retry wrapper; nil without one
+
 	mu      sync.Mutex
 	pools   *lruCache // fingerprint -> *entry (process-private runner pools)
 	engines *lruCache // dispatch fingerprint -> *engineEntry (not stored)
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	searches  atomic.Int64
-	evictions atomic.Int64
-	storeErrs atomic.Int64
-	batchRuns atomic.Int64
-	coalesced atomic.Int64
+	draining atomic.Bool // BeginDrain/Close flipped; /readyz turns 503
+
+	hits           atomic.Int64
+	misses         atomic.Int64
+	searches       atomic.Int64
+	evictions      atomic.Int64
+	storeErrs      atomic.Int64
+	batchRuns      atomic.Int64
+	coalesced      atomic.Int64
+	shedRequests   atomic.Int64
+	searchTimeouts atomic.Int64
+	panics         atomic.Int64
 }
 
 // New builds a Service. Zero Config fields take the documented defaults;
@@ -210,14 +265,37 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 15 * time.Second
+	}
 	st := cfg.Store
+	breaker, retrier := cfg.Breaker, cfg.Retrier
 	if st == nil {
 		if cfg.CacheDir != "" {
 			disk, err := store.OpenDisk(cfg.CacheDir)
 			if err != nil {
 				return nil, err
 			}
-			tiered := store.NewTiered(store.NewMemory(cfg.CacheSize), disk)
+			// The resilient disk stack: breaker over retry over the raw
+			// tier. Transient errors are absorbed by bounded retries; a
+			// dead disk opens the breaker and the tiered store above
+			// degrades to memory-only serving — no syscall per request.
+			var slow store.Store = disk
+			if cfg.ChaosDiskDown > 0 {
+				chaos := store.NewFaulty(slow, store.FaultConfig{})
+				chaos.FailFor(cfg.ChaosDiskDown)
+				slow = chaos
+			}
+			retrier = store.NewRetry(slow, store.RetryConfig{})
+			breaker = store.NewBreaker(retrier, store.BreakerConfig{
+				Threshold: cfg.BreakerThreshold,
+				Cooldown:  cfg.BreakerCooldown,
+				Logf:      log.Printf,
+			})
+			tiered := store.NewTiered(store.NewMemory(cfg.CacheSize), breaker)
 			tiered.Warm(cfg.CacheSize)
 			st = tiered
 		} else {
@@ -227,9 +305,14 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:     cfg,
 		st:      st,
+		breaker: breaker,
+		retrier: retrier,
 		batch:   experiments.NewPool(cfg.BatchWorkers),
 		pools:   newLRUCache(cfg.CacheSize),
 		engines: newLRUCache(cfg.CacheSize),
+	}
+	if cfg.MaxConcurrentSearches > 0 {
+		s.sem = make(chan struct{}, cfg.MaxConcurrentSearches)
 	}
 	if cfg.BatchWindow > 0 {
 		s.coal = &coalescer{s: s, window: cfg.BatchWindow}
@@ -242,10 +325,42 @@ func New(cfg Config) (*Service, error) {
 // shuts the miss coalescer, failing any flights still parked in an
 // unfired window so no search starts against the closed store.
 func (s *Service) Close() error {
+	s.draining.Store(true)
 	if s.coal != nil {
 		s.coal.close()
 	}
 	return s.st.Close()
+}
+
+// BeginDrain marks the service as shutting down: Ready turns false and
+// /readyz answers 503 so load balancers stop routing new traffic, while
+// in-flight and late-arriving requests are still served normally. It is
+// the first step of a graceful shutdown, before http.Server.Shutdown.
+func (s *Service) BeginDrain() { s.draining.Store(true) }
+
+// Ready reports whether the service should receive new traffic, with a
+// human-readable reason when it should not: false while draining
+// (shutdown in progress) and while the disk-tier breaker is open (the
+// service still serves — memory-only — but is degraded and a balancer
+// with healthy peers should prefer them).
+func (s *Service) Ready() (ok bool, reason string) {
+	if s.draining.Load() {
+		return false, "draining"
+	}
+	if s.breaker != nil && s.breaker.State() == store.BreakerOpen {
+		return false, "store breaker open"
+	}
+	return true, ""
+}
+
+// BreakerState names the disk-tier breaker's current state ("closed",
+// "open", "half-open"), or "none" when the store has no breaker (memory-
+// only services, caller-built stores without Config.Breaker).
+func (s *Service) BreakerState() string {
+	if s.breaker == nil {
+		return "none"
+	}
+	return s.breaker.State().String()
 }
 
 // Methods lists the registered search methods, sorted.
@@ -257,19 +372,89 @@ func (s *Service) Stats() Stats {
 	engines := s.engines.len()
 	s.mu.Unlock()
 	ss := store.StatsOf(s.st)
-	return Stats{
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Searches:    s.searches.Load(),
-		Evictions:   s.evictions.Load() + ss.Evictions,
-		StoreErrors: s.storeErrs.Load(),
-		BatchRuns:   s.batchRuns.Load(),
-		Coalesced:   s.coalesced.Load(),
-		Entries:     s.st.Len(),
-		Engines:     engines,
-		Store:       ss.Kind,
-		Tiers:       ss.Tiers,
+	var retries int64
+	if s.retrier != nil {
+		retries = s.retrier.Retries()
 	}
+	return Stats{
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Searches:       s.searches.Load(),
+		Evictions:      s.evictions.Load() + ss.Evictions,
+		StoreErrors:    s.storeErrs.Load(),
+		BatchRuns:      s.batchRuns.Load(),
+		Coalesced:      s.coalesced.Load(),
+		Retries:        retries,
+		ShedRequests:   s.shedRequests.Load(),
+		SearchTimeouts: s.searchTimeouts.Load(),
+		Panics:         s.panics.Load(),
+		BreakerState:   s.BreakerState(),
+		Entries:        s.st.Len(),
+		Engines:        engines,
+		Store:          ss.Kind,
+		Tiers:          ss.Tiers,
+	}
+}
+
+// ErrOverloaded is returned when a cold search is shed by the
+// MaxConcurrentSearches cap: every slot is busy and the request carries
+// no deadline worth waiting under. The HTTP layer maps it to 429 with a
+// Retry-After header.
+var ErrOverloaded = errors.New("service: too many concurrent searches, retry later")
+
+// acquireSearch takes a cold-search admission slot. With no cap it is
+// free. With a cap, the fast path is a non-blocking acquire; when the
+// service is saturated the behavior splits on shed:
+//
+//   - shed=true (the singleton miss path): a request without a context
+//     deadline is refused immediately with ErrOverloaded — fail-fast
+//     beats queueing unbounded work behind a slow burst — while a
+//     request that brought a deadline waits for a slot until then;
+//   - shed=false (batch and coalescer runs, whose concurrency the batch
+//     pool already bounds): wait for a slot, honoring ctx cancellation.
+func (s *Service) acquireSearch(ctx context.Context, shed bool) error {
+	if s.sem == nil {
+		return nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if shed {
+		if _, ok := ctx.Deadline(); !ok {
+			s.shedRequests.Add(1)
+			return ErrOverloaded
+		}
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.shedRequests.Add(1)
+		return ErrOverloaded
+	}
+}
+
+// releaseSearch returns an admission slot taken by acquireSearch.
+func (s *Service) releaseSearch() {
+	if s.sem != nil {
+		<-s.sem
+	}
+}
+
+// RetryAfterSeconds is the Retry-After hint served with a 429: one
+// search deadline's worth of seconds (rounded up), or 1 when no
+// deadline is configured.
+func (s *Service) RetryAfterSeconds() int {
+	if s.cfg.SearchTimeout <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(s.cfg.SearchTimeout.Seconds()))
+	if secs < 1 {
+		return 1
+	}
+	return secs
 }
 
 // entryMeta is the sidecar persisted with every stored recommendation:
@@ -491,7 +676,7 @@ func (s *Service) configure(ctx context.Context, spec *workflow.Spec, ro Request
 	// is deferred so a panic publishes a sentinel error to followers (see
 	// flightGroup) instead of an unset result.
 	defer s.flight.abandon(fp, c)
-	body, err = s.searchMiss(ctx, fp, spec, r)
+	body, err = s.searchMiss(ctx, fp, spec, r, true)
 	s.flight.finish(fp, c, body, err)
 	if err != nil {
 		return fp, nil, false, err
@@ -511,13 +696,19 @@ func (s *Service) flightResult(ctx context.Context, c *flightCall) ([]byte, erro
 
 // searchMiss is the miss path behind an owned flight claim: re-check the
 // store (a previous leader may have filled it between this caller's miss
-// and its claim), search, persist, stash the runtime entry. Failed
-// searches are never written to any tier: the store stays untouched and
-// the next request retries.
-func (s *Service) searchMiss(ctx context.Context, fp string, spec *workflow.Spec, r resolved) ([]byte, error) {
+// and its claim), take an admission slot, search, persist, stash the
+// runtime entry. shed selects the saturation policy (see acquireSearch).
+// Failed searches — including shed and timed-out ones — are never
+// written to any tier: the store stays untouched and the next request
+// retries.
+func (s *Service) searchMiss(ctx context.Context, fp string, spec *workflow.Spec, r resolved, shed bool) ([]byte, error) {
 	if se, ok := s.getStore(fp); ok {
 		return se.Body, nil
 	}
+	if err := s.acquireSearch(ctx, shed); err != nil {
+		return nil, err
+	}
+	defer s.releaseSearch()
 	e, se, err := s.runSearch(ctx, fp, spec, r)
 	if err != nil {
 		return nil, err
@@ -617,7 +808,7 @@ func (s *Service) runSearch(ctx context.Context, fp string, spec *workflow.Spec,
 		return nil, store.Entry{}, err
 	}
 	s.searches.Add(1)
-	out, err := searcher.Search(context.WithoutCancel(ctx), runner, r.sopts)
+	out, err := s.runSearcher(ctx, searcher, runner, r.sopts)
 	if err != nil {
 		return nil, store.Entry{}, err
 	}
@@ -657,6 +848,59 @@ func (s *Service) runSearch(ctx context.Context, fp string, spec *workflow.Spec,
 	}
 	e := &entry{rec: rec, spec: spec, ropts: r.ropts}
 	return e, store.Entry{Body: body, Meta: meta}, nil
+}
+
+// searchOutcome carries a searcher's return across the timeout goroutine,
+// panics included: a panic is re-raised on the caller's goroutine so the
+// flightGroup sentinel and the HTTP recovery middleware see it exactly
+// as they would on the inline (no-timeout) path.
+type searchOutcome struct {
+	out      search.Outcome
+	err      error
+	panicked any // non-nil: the recovered panic value
+}
+
+// runSearcher executes one search detached from the client's context
+// (see the package comment), under the server-side SearchTimeout when
+// one is configured. The deadline is enforced twice over: cooperatively
+// — the searcher sees a timed context and a well-behaved one returns
+// context.DeadlineExceeded itself — and unconditionally, by selecting
+// the result channel against the deadline, so even a searcher that
+// ignores its context releases the caller (and with it the singleflight
+// claim and the admission slot). A wedged searcher's goroutine is
+// leaked deliberately: a leaked goroutine is recoverable, a wedged
+// flight key is not. Timed-out searches fail like any other failed
+// search — served as an error to leader and followers, never cached.
+func (s *Service) runSearcher(ctx context.Context, searcher search.Searcher, runner search.Evaluator, sopts search.Options) (search.Outcome, error) {
+	detached := context.WithoutCancel(ctx)
+	if s.cfg.SearchTimeout <= 0 {
+		return searcher.Search(detached, runner, sopts)
+	}
+	timed, cancel := context.WithTimeout(detached, s.cfg.SearchTimeout)
+	defer cancel()
+	ch := make(chan searchOutcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- searchOutcome{panicked: p}
+			}
+		}()
+		out, err := searcher.Search(timed, runner, sopts)
+		ch <- searchOutcome{out: out, err: err}
+	}()
+	select {
+	case r := <-ch:
+		if r.panicked != nil {
+			panic(r.panicked)
+		}
+		if errors.Is(r.err, context.DeadlineExceeded) {
+			s.searchTimeouts.Add(1)
+		}
+		return r.out, r.err
+	case <-timed.Done():
+		s.searchTimeouts.Add(1)
+		return search.Outcome{}, fmt.Errorf("service: search exceeded the %v server deadline: %w", s.cfg.SearchTimeout, context.DeadlineExceeded)
+	}
 }
 
 // entryFor returns the runtime entry for a configured fingerprint,

@@ -31,6 +31,23 @@ func implementations(t *testing.T) map[string]func(t *testing.T) store.Store {
 			}
 			return store.NewTiered(store.NewMemory(1024), d)
 		},
+		// The resilience wrappers: a quiescent fault injector must be a
+		// transparent pass-through, and the full production stack —
+		// breaker over retry over a deterministically faulting store —
+		// must behave exactly like a healthy one (each key's first
+		// Get/Put fails, every retry recovers it, the breaker never sees
+		// a failure).
+		"faulty-quiescent": func(t *testing.T) store.Store {
+			return store.NewFaulty(store.NewMemory(1024), store.FaultConfig{})
+		},
+		"retry-over-faults": func(t *testing.T) store.Store {
+			faulty := store.NewFaulty(store.NewMemory(1024), store.FaultConfig{FailFirstPerKey: true})
+			return store.NewRetry(faulty, store.RetryConfig{})
+		},
+		"breaker-retry-faulty": func(t *testing.T) store.Store {
+			faulty := store.NewFaulty(store.NewMemory(1024), store.FaultConfig{FailFirstPerKey: true})
+			return store.NewBreaker(store.NewRetry(faulty, store.RetryConfig{}), store.BreakerConfig{})
+		},
 	}
 }
 

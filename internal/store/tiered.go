@@ -5,8 +5,12 @@ import "errors"
 // Tiered layers a fast bounded store (typically Memory) over a durable
 // one (typically Disk):
 //
-//   - Put writes through to both tiers, durable tier first — an entry
-//     is never visible in memory before it is safe on disk;
+//   - Put writes through to both tiers, durable tier first — on the
+//     healthy path an entry is never visible in memory before it is
+//     safe on disk. A slow-tier failure no longer blocks the fast tier:
+//     the entry is written fast-side anyway and the slow tier's error
+//     returned, so a dead disk degrades the store to memory-only
+//     serving instead of forgetting every new entry;
 //   - Get tries the fast tier, then the slow one, promoting a slow-tier
 //     hit into the fast tier so repeat reads stay cheap;
 //   - an eviction from the bounded fast tier is not data loss: the
@@ -39,12 +43,19 @@ func (t *Tiered) Get(key string) (Entry, bool, error) {
 	return e, true, nil
 }
 
-// Put implements Store, writing through both tiers (slow first).
+// Put implements Store, writing through both tiers (slow first). A
+// slow-tier failure — a dead disk, an open breaker — still writes the
+// fast tier, then surfaces the slow tier's error for the caller to
+// count: the entry serves from memory while the durable tier is down,
+// and the caller knows durability was not achieved. A fast-tier failure
+// is returned as-is (with both tiers failing, the fast error wins; the
+// entry landed nowhere the next Get will look first).
 func (t *Tiered) Put(key string, e Entry) error {
-	if err := t.slow.Put(key, e); err != nil {
+	slowErr := t.slow.Put(key, e)
+	if err := t.fast.Put(key, e); err != nil {
 		return err
 	}
-	return t.fast.Put(key, e)
+	return slowErr
 }
 
 // Delete implements Store, removing the key from both tiers.

@@ -26,6 +26,12 @@ type settings struct {
 
 	batchWorkers int           // ConfigureBatch + NewService: 0 = GOMAXPROCS
 	batchWindow  time.Duration // NewService: 0 = no miss coalescing
+
+	searchTimeout    time.Duration // NewService: 0 = no server-side search deadline
+	maxConcSearches  int           // NewService: 0 = unlimited cold searches
+	breakerThreshold int           // NewService: 0 = default 5
+	breakerCooldown  time.Duration // NewService: 0 = default 15s
+	chaosDiskDown    time.Duration // NewService: 0 = no chaos drill
 }
 
 func defaultSettings() settings {
@@ -147,6 +153,51 @@ func WithBatchWorkers(n int) Option {
 // ConfigureClasses ignore it.
 func WithBatchWindow(d time.Duration) Option {
 	return func(s *settings) { s.batchWindow = d }
+}
+
+// WithSearchTimeout sets NewService's server-side search deadline: a
+// leader search still running after d fails with a timeout error —
+// served to the leader and every singleflight follower, never cached —
+// instead of holding its flight (and its WithMaxConcurrentSearches
+// slot) indefinitely. Zero (the default) leaves searches unbounded;
+// bound their work with WithBudget instead when determinism matters.
+// Configure, ConfigureBatch and ConfigureClasses ignore it.
+func WithSearchTimeout(d time.Duration) Option {
+	return func(s *settings) { s.searchTimeout = d }
+}
+
+// WithMaxConcurrentSearches caps how many cold searches NewService runs
+// at once. At saturation, a singleton configure miss without a context
+// deadline is shed fail-fast (HTTP 429 with Retry-After on the wire);
+// one with a deadline waits for a slot until then; batched and
+// coalesced runs always wait (their concurrency is already pool-
+// bounded). Zero (the default) disables the cap. Configure,
+// ConfigureBatch and ConfigureClasses ignore it.
+func WithMaxConcurrentSearches(n int) Option {
+	return func(s *settings) { s.maxConcSearches = n }
+}
+
+// WithBreaker tunes the circuit breaker NewService wraps around a
+// WithCacheDir disk tier: threshold consecutive disk failures open it
+// (disk skipped, memory-only serving, /readyz degraded) and after
+// cooldown one probe op decides between closing and re-opening.
+// Defaults: 5 failures, 15s cooldown. Ignored without WithCacheDir (a
+// memory-only store has no tier to break).
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(s *settings) {
+		s.breakerThreshold = threshold
+		s.breakerCooldown = cooldown
+	}
+}
+
+// WithChaosDiskOutage is the built-in chaos drill: NewService wraps a
+// WithCacheDir disk tier in a deterministic fault injector that fails
+// every disk op for the first d of the service's life, then recovers —
+// driving the breaker through open → half-open → closed while the
+// memory tier keeps serving. Intended for smoke tests (aarcd
+// -chaos-disk-down); zero (the default) injects nothing.
+func WithChaosDiskOutage(d time.Duration) Option {
+	return func(s *settings) { s.chaosDiskDown = d }
 }
 
 // WithStore plugs a caller-built recommendation store (see the Store

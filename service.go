@@ -67,8 +67,10 @@ func NewTieredStore(fast, slow Store) Store { return store.NewTiered(fast, slow)
 // NewService builds the serving layer with the same functional options as
 // Configure (WithMethod, WithSeed, WithHostCores, WithNoise, WithSLO,
 // WithInputScale) plus the service-specific WithCacheSize, WithShards,
-// WithCacheDir, WithStore, WithBatchWorkers and WithBatchWindow (opt-in
-// coalescing of singleton cache misses into pooled batch runs). A
+// WithCacheDir, WithStore, WithBatchWorkers, WithBatchWindow (opt-in
+// coalescing of singleton cache misses into pooled batch runs) and the
+// resilience knobs WithSearchTimeout, WithMaxConcurrentSearches,
+// WithBreaker and WithChaosDiskOutage. A
 // WithBudget budget becomes the server-side cap: requests may tighten
 // it, never exceed it. The error is the backing store's (opening a cache
 // directory can fail; a memory-only service cannot). Close the service
@@ -90,12 +92,19 @@ func NewService(opts ...Option) (*Service, error) {
 		BatchWindow:  s.batchWindow,
 		CacheDir:     s.cacheDir,
 		Store:        s.store,
+
+		SearchTimeout:         s.searchTimeout,
+		MaxConcurrentSearches: s.maxConcSearches,
+		BreakerThreshold:      s.breakerThreshold,
+		BreakerCooldown:       s.breakerCooldown,
+		ChaosDiskDown:         s.chaosDiskDown,
 	})
 }
 
 // NewServiceHandler mounts the service's HTTP API (the one cmd/aarcd
-// serves: /healthz, /v1/methods, /v1/configure, /v1/recommendation/{fp},
-// /v1/dispatch, /v1/evaluate) for embedding in another http.Server.
+// serves: /healthz, /readyz, /v1/methods, /v1/configure,
+// /v1/recommendation/{fp}, /v1/dispatch, /v1/evaluate) for embedding in
+// another http.Server, panic-recovery middleware included.
 func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }
 
 // SpecFingerprint returns the content-addressed identity of a workflow
