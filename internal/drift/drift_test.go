@@ -1,0 +1,245 @@
+package drift
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeProber serves scripted latencies per fingerprint; safe for
+// concurrent use so Run-based tests pass -race.
+type fakeProber struct {
+	mu  sync.Mutex
+	fps []string
+	e2e map[string][]float64 // returned verbatim by every Probe
+	slo map[string]float64
+	err map[string]error
+}
+
+func (p *fakeProber) Fingerprints() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.fps...)
+}
+
+func (p *fakeProber) Probe(fp string, runs int) ([]float64, float64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.err[fp]; err != nil {
+		return nil, 0, err
+	}
+	return append([]float64(nil), p.e2e[fp]...), p.slo[fp], nil
+}
+
+func (p *fakeProber) set(fp string, e2e []float64, slo float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.e2e[fp] = e2e
+	p.slo[fp] = slo
+}
+
+func newFakeProber(fps ...string) *fakeProber {
+	return &fakeProber{
+		fps: fps,
+		e2e: make(map[string][]float64),
+		slo: make(map[string]float64),
+		err: make(map[string]error),
+	}
+}
+
+func drain(t *testing.T, ch <-chan string) []string {
+	t.Helper()
+	var out []string
+	for {
+		select {
+		case fp := <-ch:
+			out = append(out, fp)
+		default:
+			return out
+		}
+	}
+}
+
+func TestThresholdCrossingEnqueuesOnce(t *testing.T) {
+	p := newFakeProber("fp")
+	p.set("fp", []float64{950, 960, 970}, 1000) // p99 = 970, ratio 0.97 >= 0.9
+	m := New(p, Config{Interval: time.Hour})
+
+	m.Sweep(context.Background())
+	if got := drain(t, m.Stale()); len(got) != 1 || got[0] != "fp" {
+		t.Fatalf("first sweep enqueued %v, want [fp]", got)
+	}
+	if m.Detected() != 1 {
+		t.Fatalf("Detected = %d, want 1", m.Detected())
+	}
+	// Still bad on later sweeps: flagged entries must NOT re-enqueue —
+	// that would refresh in a hot loop.
+	for i := 0; i < 3; i++ {
+		m.Sweep(context.Background())
+	}
+	if got := drain(t, m.Stale()); len(got) != 0 {
+		t.Fatalf("flagged entry re-enqueued: %v", got)
+	}
+	if m.Checks() != 4 {
+		t.Fatalf("Checks = %d, want 4", m.Checks())
+	}
+}
+
+func TestHealthyEntryNeverFlagged(t *testing.T) {
+	p := newFakeProber("fp")
+	p.set("fp", []float64{100, 120, 140}, 1000) // ratio 0.14
+	m := New(p, Config{Interval: time.Hour})
+	for i := 0; i < 3; i++ {
+		m.Sweep(context.Background())
+	}
+	if got := drain(t, m.Stale()); len(got) != 0 {
+		t.Fatalf("healthy entry enqueued: %v", got)
+	}
+	if m.Detected() != 0 {
+		t.Fatalf("Detected = %d, want 0", m.Detected())
+	}
+}
+
+func TestHysteresisRearmsOnlyBelowLowerWatermark(t *testing.T) {
+	p := newFakeProber("fp")
+	// Small window so recovery latencies displace the bad ones quickly.
+	m := New(p, Config{Interval: time.Hour, Threshold: 0.9, Hysteresis: 0.9, Runs: 4, Window: 4})
+
+	p.set("fp", []float64{950, 950, 950, 950}, 1000) // ratio 0.95: flag
+	m.Sweep(context.Background())
+	if got := drain(t, m.Stale()); len(got) != 1 {
+		t.Fatalf("not flagged on crossing: %v", got)
+	}
+
+	// Between the watermarks (0.81..0.9): stays flagged, no re-enqueue,
+	// and — crucially — crossing the threshold again does not re-fire.
+	p.set("fp", []float64{850, 850, 850, 850}, 1000)
+	m.Sweep(context.Background())
+	p.set("fp", []float64{950, 950, 950, 950}, 1000)
+	m.Sweep(context.Background())
+	if got := drain(t, m.Stale()); len(got) != 0 {
+		t.Fatalf("flapping around the threshold re-enqueued: %v", got)
+	}
+
+	// Below the lower watermark (0.9*0.9 = 0.81): re-arms...
+	p.set("fp", []float64{100, 100, 100, 100}, 1000)
+	m.Sweep(context.Background())
+	if got := drain(t, m.Stale()); len(got) != 0 {
+		t.Fatalf("recovery itself enqueued: %v", got)
+	}
+	// ...so the next crossing fires again.
+	p.set("fp", []float64{950, 950, 950, 950}, 1000)
+	m.Sweep(context.Background())
+	if got := drain(t, m.Stale()); len(got) != 1 {
+		t.Fatalf("re-armed entry did not re-flag: %v", got)
+	}
+	if m.Detected() != 2 {
+		t.Fatalf("Detected = %d, want 2", m.Detected())
+	}
+}
+
+func TestRollingWindowP99NotLatestProbe(t *testing.T) {
+	p := newFakeProber("fp")
+	// One bad probe in an otherwise healthy window: with Window 64 and
+	// Runs 4, a single 4-run spike is the window's p99 — exactly the
+	// "p99 creeping toward the SLO" signal — but a later healthy probe
+	// alone must not clear the flag while the spike is still in-window.
+	m := New(p, Config{Interval: time.Hour, Runs: 4, Window: 8})
+	p.set("fp", []float64{100, 100, 100, 100}, 1000)
+	m.Sweep(context.Background())
+	p.set("fp", []float64{950, 950, 950, 950}, 1000)
+	m.Sweep(context.Background())
+	if got := drain(t, m.Stale()); len(got) != 1 {
+		t.Fatalf("spike not flagged: %v", got)
+	}
+	// Window now half healthy, half spiked: p99 still 950 -> flagged.
+	p.set("fp", []float64{100, 100, 100, 100}, 1000)
+	m.Sweep(context.Background()) // window: 950x4 gone? no: ring overwrote the oldest 100s
+	m.Sweep(context.Background()) // now the 950s are displaced
+	p.set("fp", []float64{950, 950, 950, 950}, 1000)
+	m.Sweep(context.Background())
+	if got := drain(t, m.Stale()); len(got) != 1 {
+		t.Fatalf("recovered-then-respiked entry did not re-flag: %v", got)
+	}
+}
+
+func TestProbeErrorsSkipEntry(t *testing.T) {
+	p := newFakeProber("ok", "bad")
+	p.set("ok", []float64{950}, 1000)
+	p.err["bad"] = context.DeadlineExceeded
+	m := New(p, Config{Interval: time.Hour})
+	m.Sweep(context.Background())
+	if got := drain(t, m.Stale()); len(got) != 1 || got[0] != "ok" {
+		t.Fatalf("sweep over a failing probe enqueued %v, want [ok]", got)
+	}
+	if m.Checks() != 2 {
+		t.Fatalf("Checks = %d, want 2 (errors still count as checks)", m.Checks())
+	}
+}
+
+func TestPruneDropsInvalidatedState(t *testing.T) {
+	p := newFakeProber("fp")
+	p.set("fp", []float64{950}, 1000)
+	m := New(p, Config{Interval: time.Hour})
+	m.Sweep(context.Background())
+	drain(t, m.Stale())
+
+	// The entry disappears (invalidated), then reappears healthy: its
+	// flag and window must have been reset with it.
+	p.mu.Lock()
+	p.fps = nil
+	p.mu.Unlock()
+	m.Sweep(context.Background())
+
+	p.mu.Lock()
+	p.fps = []string{"fp"}
+	p.mu.Unlock()
+	p.set("fp", []float64{950}, 1000)
+	m.Sweep(context.Background())
+	if got := drain(t, m.Stale()); len(got) != 1 {
+		t.Fatalf("re-added entry inherited stale flag: %v", got)
+	}
+}
+
+func TestFullQueueDropsWithCounter(t *testing.T) {
+	fps := []string{"a", "b", "c"}
+	p := newFakeProber(fps...)
+	for _, fp := range fps {
+		p.set(fp, []float64{950}, 1000)
+	}
+	m := New(p, Config{Interval: time.Hour, QueueSize: 1})
+	m.Sweep(context.Background()) // 3 flagged, queue holds 1
+	if got := drain(t, m.Stale()); len(got) != 1 {
+		t.Fatalf("queue delivered %v, want exactly 1", got)
+	}
+	if m.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", m.Dropped())
+	}
+}
+
+func TestRunSweepsOnTicker(t *testing.T) {
+	p := newFakeProber("fp")
+	p.set("fp", []float64{950}, 1000)
+	m := New(p, Config{Interval: 2 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		m.Run(ctx)
+		close(done)
+	}()
+	select {
+	case fp := <-m.Stale():
+		if fp != "fp" {
+			t.Errorf("stale fingerprint = %q", fp)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("Run never flagged the stale entry")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+}

@@ -276,8 +276,8 @@ func (c *coalescer) drain() {
 		return
 	}
 	c.s.coalesced.Add(int64(len(runs)))
-	// Searches already run detached from request contexts (runSearch uses
-	// context.WithoutCancel); the timer goroutine has no request context
-	// to pass in the first place.
+	// Searches already run detached from request contexts (searchMiss
+	// detaches via context.WithoutCancel); the timer goroutine has no
+	// request context to pass in the first place.
 	c.s.runPending(context.Background(), runs)
 }

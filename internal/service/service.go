@@ -53,6 +53,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aarc/internal/drift"
+	"aarc/internal/event"
 	"aarc/internal/experiments"
 	"aarc/internal/inputaware"
 	"aarc/internal/resources"
@@ -112,6 +114,37 @@ type Config struct {
 	// closing it and re-opening. Defaults 5 and 15s.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+
+	// DriftInterval, when positive, enables the recommendation lifecycle:
+	// every interval a drift monitor (internal/drift) re-validates each
+	// stored entry on its sharded runner pool and compares the rolling
+	// p99 against DriftThreshold×SLO with hysteresis; entries that cross
+	// it are re-searched in the background by RefreshWorkers workers and
+	// atomically swapped in the store — old bytes serve until the swap,
+	// no request ever sees a miss. Zero (the default) disables the
+	// monitor and the refresher; the event bus and watch API work either
+	// way.
+	DriftInterval time.Duration
+	// DriftThreshold is the staleness watermark as a fraction of each
+	// entry's SLO (default 0.9: flag entries creeping toward the SLO
+	// before they breach it).
+	DriftThreshold float64
+	// RefreshWorkers bounds concurrent background refreshes (default 1).
+	// Refreshes always yield to foreground misses: they take admission
+	// slots only when no foreground search is waiting for one.
+	RefreshWorkers int
+
+	// WatchHeartbeat is the SSE keep-alive interval of GET /v1/watch/{fp}
+	// (default 15s): a comment line per interval so idle streams survive
+	// proxies and dead clients are detected.
+	WatchHeartbeat time.Duration
+	// WatchBuffer bounds each watch subscriber's event buffer (default
+	// 16). A subscriber that falls further behind loses events —
+	// counted in Stats.EventsDropped — rather than blocking publishers.
+	WatchBuffer int
+	// EventRing bounds the bus's recent-events ring backing Last-Event-ID
+	// resume (default 256).
+	EventRing int
 
 	// ChaosDiskDown, when positive (and CacheDir is set), wraps the disk
 	// tier in a deterministic fault injector that fails every disk op
@@ -205,22 +238,27 @@ type DispatchResult struct {
 
 // Stats counts the service's cache behavior since construction.
 type Stats struct {
-	Hits           int64          `json:"hits"`            // answered from the store, no search machinery touched
-	Misses         int64          `json:"misses"`          // had to run — or wait on — a search
-	Searches       int64          `json:"searches"`        // underlying searches actually run
-	Evictions      int64          `json:"evictions"`       // entries dropped by a capacity bound (store + engine cache)
-	StoreErrors    int64          `json:"store_errors"`    // store reads/writes that failed and were degraded
-	BatchRuns      int64          `json:"batch_runs"`      // pooled batch search runs (ConfigureBatch + drained windows)
-	Coalesced      int64          `json:"coalesced"`       // singleton misses absorbed into a window's pooled run
-	Retries        int64          `json:"retries"`         // store ops recovered (or attempted) by the retry tier
-	ShedRequests   int64          `json:"shed_requests"`   // cold searches refused by the concurrency cap (HTTP 429)
-	SearchTimeouts int64          `json:"search_timeouts"` // searches cut off by the server-side deadline
-	Panics         int64          `json:"panics"`          // handler panics recovered into 500s
-	BreakerState   string         `json:"breaker_state"`   // closed | open | half-open, or none without a breaker
-	Entries        int            `json:"entries"`         // recommendations currently stored
-	Engines        int            `json:"engines"`         // dispatch engines currently cached (process-private)
-	Store          string         `json:"store"`           // store kind: memory, disk, tiered, custom
-	Tiers          map[string]int `json:"tiers"`           // per-tier entry counts
+	Hits           int64          `json:"hits"`              // answered from the store, no search machinery touched
+	Misses         int64          `json:"misses"`            // had to run — or wait on — a search
+	Searches       int64          `json:"searches"`          // underlying searches actually run
+	Evictions      int64          `json:"evictions"`         // entries dropped by a capacity bound (store + engine cache)
+	StoreErrors    int64          `json:"store_errors"`      // store reads/writes that failed and were degraded
+	BatchRuns      int64          `json:"batch_runs"`        // pooled batch search runs (ConfigureBatch + drained windows)
+	Coalesced      int64          `json:"coalesced"`         // singleton misses absorbed into a window's pooled run
+	Retries        int64          `json:"retries"`           // store ops recovered (or attempted) by the retry tier
+	ShedRequests   int64          `json:"shed_requests"`     // cold searches refused by the concurrency cap (HTTP 429)
+	SearchTimeouts int64          `json:"search_timeouts"`   // searches cut off by the server-side deadline
+	Panics         int64          `json:"panics"`            // handler panics recovered into 500s
+	DriftChecks    int64          `json:"drift_checks"`      // drift-monitor probes performed
+	Refreshes      int64          `json:"refreshes"`         // background re-searches swapped into the store
+	RefreshFails   int64          `json:"refresh_failures"`  // background re-searches that errored (old entry kept)
+	WatchSubs      int64          `json:"watch_subscribers"` // live watch subscriptions (SSE streams + facade Watch)
+	EventsDropped  int64          `json:"events_dropped"`    // events lost to slow subscribers' full buffers
+	BreakerState   string         `json:"breaker_state"`     // closed | open | half-open, or none without a breaker
+	Entries        int            `json:"entries"`           // recommendations currently stored
+	Engines        int            `json:"engines"`           // dispatch engines currently cached (process-private)
+	Store          string         `json:"store"`             // store kind: memory, disk, tiered, custom
+	Tiers          map[string]int `json:"tiers"`             // per-tier entry counts
 }
 
 // Service is the long-lived serving layer. It is safe for concurrent use.
@@ -235,11 +273,22 @@ type Service struct {
 	breaker *store.Breaker // disk-tier breaker; nil without one
 	retrier *store.Retry   // disk-tier retry wrapper; nil without one
 
+	bus     *event.Bus     // change notifications; publishes on every store mutation
+	monitor *drift.Monitor // nil unless DriftInterval > 0
+
+	lifecycleCancel context.CancelFunc // stops the monitor and refresh workers
+	lifecycleWG     sync.WaitGroup
+
+	refreshMu  sync.Mutex
+	refreshing map[string]struct{} // fingerprints mid-refresh: their Puts publish "refreshed"
+
 	mu      sync.Mutex
 	pools   *lruCache // fingerprint -> *entry (process-private runner pools)
 	engines *lruCache // dispatch fingerprint -> *engineEntry (not stored)
 
 	draining atomic.Bool // BeginDrain/Close flipped; /readyz turns 503
+
+	searchWaiters atomic.Int64 // foreground misses blocked on an admission slot
 
 	hits           atomic.Int64
 	misses         atomic.Int64
@@ -251,6 +300,9 @@ type Service struct {
 	shedRequests   atomic.Int64
 	searchTimeouts atomic.Int64
 	panics         atomic.Int64
+	refreshes      atomic.Int64
+	refreshFails   atomic.Int64
+	watchSubs      atomic.Int64
 }
 
 // New builds a Service. Zero Config fields take the documented defaults;
@@ -270,6 +322,21 @@ func New(cfg Config) (*Service, error) {
 	}
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = 15 * time.Second
+	}
+	if cfg.DriftThreshold <= 0 {
+		cfg.DriftThreshold = 0.9
+	}
+	if cfg.RefreshWorkers <= 0 {
+		cfg.RefreshWorkers = 1
+	}
+	if cfg.WatchHeartbeat <= 0 {
+		cfg.WatchHeartbeat = 15 * time.Second
+	}
+	if cfg.WatchBuffer <= 0 {
+		cfg.WatchBuffer = 16
+	}
+	if cfg.EventRing <= 0 {
+		cfg.EventRing = 256
 	}
 	st := cfg.Store
 	breaker, retrier := cfg.Breaker, cfg.Retrier
@@ -303,19 +370,43 @@ func New(cfg Config) (*Service, error) {
 		}
 	}
 	s := &Service{
-		cfg:     cfg,
-		st:      st,
-		breaker: breaker,
-		retrier: retrier,
-		batch:   experiments.NewPool(cfg.BatchWorkers),
-		pools:   newLRUCache(cfg.CacheSize),
-		engines: newLRUCache(cfg.CacheSize),
+		cfg:        cfg,
+		breaker:    breaker,
+		retrier:    retrier,
+		batch:      experiments.NewPool(cfg.BatchWorkers),
+		pools:      newLRUCache(cfg.CacheSize),
+		engines:    newLRUCache(cfg.CacheSize),
+		bus:        event.NewBus(cfg.EventRing),
+		refreshing: make(map[string]struct{}),
 	}
+	// Outermost store layer: change notifications. Warm-loaded entries
+	// (above, before the wrap) don't publish — only live mutations do.
+	s.st = store.NewNotify(st, s.storeEvent)
 	if cfg.MaxConcurrentSearches > 0 {
 		s.sem = make(chan struct{}, cfg.MaxConcurrentSearches)
 	}
 	if cfg.BatchWindow > 0 {
 		s.coal = &coalescer{s: s, window: cfg.BatchWindow}
+	}
+	if cfg.DriftInterval > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		s.lifecycleCancel = cancel
+		s.monitor = drift.New(lifecycleProber{s}, drift.Config{
+			Interval:  cfg.DriftInterval,
+			Threshold: cfg.DriftThreshold,
+		})
+		s.lifecycleWG.Add(1)
+		go func() {
+			defer s.lifecycleWG.Done()
+			s.monitor.Run(ctx)
+		}()
+		for i := 0; i < cfg.RefreshWorkers; i++ {
+			s.lifecycleWG.Add(1)
+			go func() {
+				defer s.lifecycleWG.Done()
+				s.refreshLoop(ctx)
+			}()
+		}
 	}
 	return s, nil
 }
@@ -323,13 +414,23 @@ func New(cfg Config) (*Service, error) {
 // Close releases the backing store (flushing nothing: durable tiers are
 // written through at Put time, so shutdown has no persistence step) and
 // shuts the miss coalescer, failing any flights still parked in an
-// unfired window so no search starts against the closed store.
+// unfired window so no search starts against the closed store. The
+// lifecycle goroutines — drift monitor and refresh workers — are
+// cancelled and joined first, so no background re-search races the
+// store's close; the event bus closes last, terminating every watch
+// subscription.
 func (s *Service) Close() error {
 	s.draining.Store(true)
+	if s.lifecycleCancel != nil {
+		s.lifecycleCancel()
+		s.lifecycleWG.Wait()
+	}
 	if s.coal != nil {
 		s.coal.close()
 	}
-	return s.st.Close()
+	err := s.st.Close()
+	s.bus.Close()
+	return err
 }
 
 // BeginDrain marks the service as shutting down: Ready turns false and
@@ -376,6 +477,10 @@ func (s *Service) Stats() Stats {
 	if s.retrier != nil {
 		retries = s.retrier.Retries()
 	}
+	var driftChecks int64
+	if s.monitor != nil {
+		driftChecks = s.monitor.Checks()
+	}
 	return Stats{
 		Hits:           s.hits.Load(),
 		Misses:         s.misses.Load(),
@@ -388,6 +493,11 @@ func (s *Service) Stats() Stats {
 		ShedRequests:   s.shedRequests.Load(),
 		SearchTimeouts: s.searchTimeouts.Load(),
 		Panics:         s.panics.Load(),
+		DriftChecks:    driftChecks,
+		Refreshes:      s.refreshes.Load(),
+		RefreshFails:   s.refreshFails.Load(),
+		WatchSubs:      s.watchSubs.Load(),
+		EventsDropped:  s.bus.Dropped(),
 		BreakerState:   s.BreakerState(),
 		Entries:        s.st.Len(),
 		Engines:        engines,
@@ -427,6 +537,10 @@ func (s *Service) acquireSearch(ctx context.Context, shed bool) error {
 			return ErrOverloaded
 		}
 	}
+	// Count the blocked wait: background refreshes poll this gauge and
+	// yield their slots whenever a foreground miss is queued here.
+	s.searchWaiters.Add(1)
+	defer s.searchWaiters.Add(-1)
 	select {
 	case s.sem <- struct{}{}:
 		return nil
@@ -459,13 +573,25 @@ func (s *Service) RetryAfterSeconds() int {
 
 // entryMeta is the sidecar persisted with every stored recommendation:
 // everything a process needs to rebuild an evaluation runner pool for a
-// fingerprint it never searched itself.
+// fingerprint it never searched itself, plus — since the lifecycle
+// subsystem — the full search identity, so a background refresh can
+// re-run the exact search that produced the entry. The search-identity
+// fields are omitempty: entries persisted by older processes decode with
+// them zero and the refresher falls back to the recommendation body
+// (method, SLO) and the service caps (budgets).
 type entryMeta struct {
 	Spec       json.RawMessage `json:"spec"` // canonical spec JSON
 	HostCores  float64         `json:"host_cores"`
 	Noise      bool            `json:"noise"`
 	Seed       uint64          `json:"seed"`
 	InputScale float64         `json:"input_scale"`
+
+	Method        string  `json:"method,omitempty"` // registry name, not display name
+	MethodVersion int     `json:"method_version,omitempty"`
+	SLOMS         float64 `json:"slo_ms,omitempty"`
+	MaxSamples    int     `json:"max_samples,omitempty"`
+	MaxSimCostMS  float64 `json:"max_sim_cost_ms,omitempty"`
+	CreatedUnixMS int64   `json:"created_unix_ms,omitempty"`
 }
 
 func (m entryMeta) runnerOptions() workflow.RunnerOptions {
@@ -485,6 +611,7 @@ type entry struct {
 	rec   *Recommendation
 	spec  *workflow.Spec
 	ropts workflow.RunnerOptions
+	meta  entryMeta // persisted sidecar; the refresher's search identity
 
 	poolOnce sync.Once
 	pool     *runnerPool
@@ -709,7 +836,10 @@ func (s *Service) searchMiss(ctx context.Context, fp string, spec *workflow.Spec
 		return nil, err
 	}
 	defer s.releaseSearch()
-	e, se, err := s.runSearch(ctx, fp, spec, r)
+	// Detach from the client's context here — not in runSearch — so the
+	// background refresher can pass its own cancellable lifecycle context
+	// to the same search machinery.
+	e, se, err := s.runSearch(context.WithoutCancel(ctx), fp, spec, r)
 	if err != nil {
 		return nil, err
 	}
@@ -776,13 +906,18 @@ func (s *Service) RecommendationJSON(fp string) ([]byte, error) {
 // runner pool; existed reports whether there was an entry to remove. The
 // next Configure for the same content re-searches. Existence is checked
 // against the key index (Keys), not Get: a tiered Get would read the
-// whole body off disk and promote it into memory just to delete it.
+// whole body off disk and promote it into memory just to delete it. An
+// absent fingerprint skips the Delete entirely, so no "invalidated"
+// event is published for an entry that was never there.
 func (s *Service) Invalidate(fp string) (existed bool, err error) {
 	for _, k := range s.st.Keys() {
 		if k == fp {
 			existed = true
 			break
 		}
+	}
+	if !existed {
+		return false, nil
 	}
 	if err := s.st.Delete(fp); err != nil {
 		s.storeErrs.Add(1)
@@ -836,17 +971,25 @@ func (s *Service) runSearch(ctx context.Context, fp string, spec *workflow.Spec,
 	if err != nil {
 		return nil, store.Entry{}, err
 	}
-	meta, err := json.Marshal(entryMeta{
+	m := entryMeta{
 		Spec:       specJSON,
 		HostCores:  r.ropts.HostCores,
 		Noise:      r.ropts.Noise,
 		Seed:       r.ropts.Seed,
 		InputScale: r.ropts.InputScale,
-	})
+
+		Method:        r.method,
+		MethodVersion: r.version,
+		SLOMS:         r.sopts.SLOMS,
+		MaxSamples:    r.sopts.MaxSamples,
+		MaxSimCostMS:  r.sopts.MaxSimCostMS,
+		CreatedUnixMS: time.Now().UnixMilli(),
+	}
+	meta, err := json.Marshal(m)
 	if err != nil {
 		return nil, store.Entry{}, err
 	}
-	e := &entry{rec: rec, spec: spec, ropts: r.ropts}
+	e := &entry{rec: rec, spec: spec, ropts: r.ropts, meta: m}
 	return e, store.Entry{Body: body, Meta: meta}, nil
 }
 
@@ -860,23 +1003,25 @@ type searchOutcome struct {
 	panicked any // non-nil: the recovered panic value
 }
 
-// runSearcher executes one search detached from the client's context
-// (see the package comment), under the server-side SearchTimeout when
-// one is configured. The deadline is enforced twice over: cooperatively
-// — the searcher sees a timed context and a well-behaved one returns
-// context.DeadlineExceeded itself — and unconditionally, by selecting
-// the result channel against the deadline, so even a searcher that
-// ignores its context releases the caller (and with it the singleflight
-// claim and the admission slot). A wedged searcher's goroutine is
-// leaked deliberately: a leaked goroutine is recoverable, a wedged
-// flight key is not. Timed-out searches fail like any other failed
-// search — served as an error to leader and followers, never cached.
+// runSearcher executes one search under the server-side SearchTimeout
+// when one is configured. Detaching from the client's context is the
+// caller's job: the miss path passes context.WithoutCancel (see the
+// package comment) while the background refresher passes the lifecycle
+// context, so Close cancels in-flight refresh searches. The deadline is
+// enforced twice over: cooperatively — the searcher sees a timed
+// context and a well-behaved one returns context.DeadlineExceeded
+// itself — and unconditionally, by selecting the result channel against
+// the deadline, so even a searcher that ignores its context releases
+// the caller (and with it the singleflight claim and the admission
+// slot). A wedged searcher's goroutine is leaked deliberately: a leaked
+// goroutine is recoverable, a wedged flight key is not. Timed-out
+// searches fail like any other failed search — served as an error to
+// leader and followers, never cached.
 func (s *Service) runSearcher(ctx context.Context, searcher search.Searcher, runner search.Evaluator, sopts search.Options) (search.Outcome, error) {
-	detached := context.WithoutCancel(ctx)
 	if s.cfg.SearchTimeout <= 0 {
-		return searcher.Search(detached, runner, sopts)
+		return searcher.Search(ctx, runner, sopts)
 	}
-	timed, cancel := context.WithTimeout(detached, s.cfg.SearchTimeout)
+	timed, cancel := context.WithTimeout(ctx, s.cfg.SearchTimeout)
 	defer cancel()
 	ch := make(chan searchOutcome, 1)
 	go func() {
@@ -929,7 +1074,7 @@ func (s *Service) entryFor(fp string) (*entry, error) {
 	if err := json.Unmarshal(se.Body, rec); err != nil {
 		return nil, fmt.Errorf("service: decoding stored recommendation: %w", err)
 	}
-	e := &entry{rec: rec, spec: spec, ropts: m.runnerOptions()}
+	e := &entry{rec: rec, spec: spec, ropts: m.runnerOptions(), meta: m}
 	s.putPool(fp, e)
 	return e, nil
 }

@@ -1,0 +1,104 @@
+package store_test
+
+import (
+	"errors"
+	"testing"
+
+	"aarc/internal/store"
+)
+
+func TestNotifyFiresOnSuccessfulMutations(t *testing.T) {
+	type note struct {
+		op  store.Op
+		key string
+	}
+	var notes []note
+	n := store.NewNotify(store.NewMemory(8), func(op store.Op, key string) {
+		notes = append(notes, note{op, key})
+	})
+	if err := n.Put(key(1), entry(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Put(key(1), entry(2)); err != nil { // replace notifies too
+		t.Fatal(err)
+	}
+	if _, _, err := n.Get(key(1)); err != nil { // reads never notify
+		t.Fatal(err)
+	}
+	if err := n.Delete(key(1)); err != nil {
+		t.Fatal(err)
+	}
+	want := []note{{store.OpPut, key(1)}, {store.OpPut, key(1)}, {store.OpDelete, key(1)}}
+	if len(notes) != len(want) {
+		t.Fatalf("hook fired %d times, want %d: %+v", len(notes), len(want), notes)
+	}
+	for i := range want {
+		if notes[i] != want[i] {
+			t.Fatalf("note[%d] = %+v, want %+v", i, notes[i], want[i])
+		}
+	}
+}
+
+func TestNotifySkipsFailedMutations(t *testing.T) {
+	faulty := store.NewFaulty(store.NewMemory(8), store.FaultConfig{})
+	faulty.FailAll(errors.New("injected: store down"))
+	fired := 0
+	n := store.NewNotify(faulty, func(store.Op, string) { fired++ })
+	if err := n.Put(key(1), entry(1)); err == nil {
+		t.Fatal("Put on a failing store succeeded")
+	}
+	if err := n.Delete(key(1)); err == nil {
+		t.Fatal("Delete on a failing store succeeded")
+	}
+	if fired != 0 {
+		t.Fatalf("hook fired %d times on failed mutations", fired)
+	}
+	faulty.Recover()
+	if err := n.Put(key(1), entry(1)); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times after recovery, want 1", fired)
+	}
+}
+
+func TestNotifyNilHookPassesThrough(t *testing.T) {
+	n := store.NewNotify(store.NewMemory(8), nil)
+	if err := n.Put(key(1), entry(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Delete(key(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotifyStatsDelegatesToInner(t *testing.T) {
+	n := store.NewNotify(store.NewMemory(8), func(store.Op, string) {})
+	if err := n.Put(key(1), entry(1)); err != nil {
+		t.Fatal(err)
+	}
+	st := store.StatsOf(n)
+	if st.Kind != "memory" {
+		t.Fatalf("notify-wrapped stats kind = %q, want the inner %q", st.Kind, "memory")
+	}
+	if st.Tiers["memory"] != 1 {
+		t.Fatalf("tiers = %v, want memory:1", st.Tiers)
+	}
+}
+
+func TestNotifyCloseDoesNotNotify(t *testing.T) {
+	fired := 0
+	n := store.NewNotify(store.NewMemory(8), func(store.Op, string) { fired++ })
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("hook fired %d times on Close", fired)
+	}
+	if err := n.Put(key(1), entry(1)); !errors.Is(err, store.ErrClosed) {
+		t.Fatalf("Put after Close: err = %v, want ErrClosed", err)
+	}
+	if fired != 0 {
+		t.Fatalf("hook fired on a closed store's failed Put")
+	}
+}

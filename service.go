@@ -37,6 +37,14 @@ type (
 	// index-aligned with the submitted items; failures are isolated per
 	// item in its Err field.
 	ServiceBatchResult = service.BatchResult
+	// ServiceEvent is one recommendation lifecycle notification as
+	// delivered by Service.Watch and GET /v1/watch/{fp}: kind "put"
+	// (stored for the first time or re-stored), "refreshed" (swapped by a
+	// background drift refresh), or "invalidated" (deleted).
+	ServiceEvent = service.Event
+	// ServiceRecommendationInfo is one stored entry's line in the
+	// Service.Recommendations listing (GET /v1/recommendations).
+	ServiceRecommendationInfo = service.RecommendationInfo
 
 	// Store is the pluggable recommendation storage contract behind the
 	// serving layer: Get/Put/Delete/Keys/Len/Close over fingerprint-keyed,
@@ -70,8 +78,10 @@ func NewTieredStore(fast, slow Store) Store { return store.NewTiered(fast, slow)
 // WithCacheDir, WithStore, WithBatchWorkers, WithBatchWindow (opt-in
 // coalescing of singleton cache misses into pooled batch runs) and the
 // resilience knobs WithSearchTimeout, WithMaxConcurrentSearches,
-// WithBreaker and WithChaosDiskOutage. A
-// WithBudget budget becomes the server-side cap: requests may tighten
+// WithBreaker and WithChaosDiskOutage, and the lifecycle knobs
+// WithDrift and WithRefreshWorkers (background staleness detection and
+// atomic refresh, observable via Service.Watch and GET /v1/watch/{fp}).
+// A WithBudget budget becomes the server-side cap: requests may tighten
 // it, never exceed it. The error is the backing store's (opening a cache
 // directory can fail; a memory-only service cannot). Close the service
 // to release the store.
@@ -98,13 +108,18 @@ func NewService(opts ...Option) (*Service, error) {
 		BreakerThreshold:      s.breakerThreshold,
 		BreakerCooldown:       s.breakerCooldown,
 		ChaosDiskDown:         s.chaosDiskDown,
+
+		DriftInterval:  s.driftInterval,
+		DriftThreshold: s.driftThreshold,
+		RefreshWorkers: s.refreshWorkers,
 	})
 }
 
 // NewServiceHandler mounts the service's HTTP API (the one cmd/aarcd
 // serves: /healthz, /readyz, /v1/methods, /v1/configure,
-// /v1/recommendation/{fp}, /v1/dispatch, /v1/evaluate) for embedding in
-// another http.Server, panic-recovery middleware included.
+// /v1/recommendation/{fp}, /v1/recommendations, /v1/watch/{fp},
+// /v1/dispatch, /v1/evaluate) for embedding in another http.Server,
+// panic-recovery middleware included.
 func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }
 
 // SpecFingerprint returns the content-addressed identity of a workflow
