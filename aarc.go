@@ -76,6 +76,23 @@ func WorkloadNames() []string {
 	return []string{"chatbot", "ml-pipeline", "video-analysis"}
 }
 
+// ScaleOptions parameterizes the synthetic scale-regime workload generator
+// (topology family, node count, seed, edge density, heavy-tailed profiles).
+type ScaleOptions = workloads.ScaleOptions
+
+// ScaleTopology names a generated DAG family: "layered", "fanout", "chain",
+// "diamond" or "random".
+type ScaleTopology = workloads.Topology
+
+// ScaleWorkload deterministically generates a synthetic workflow of the
+// requested family and exact node count — the same options produce
+// byte-identical canonical specs on every run. It extends the built-in
+// workloads to the 10k-node regime the incremental compilation path targets.
+func ScaleWorkload(opts ScaleOptions) (*Spec, error) { return workloads.Scale(opts) }
+
+// ScaleTopologies lists the generated topology families in a stable order.
+func ScaleTopologies() []ScaleTopology { return workloads.Topologies() }
+
 // LoadSpec reads a JSON workflow definition from a file.
 func LoadSpec(path string) (*Spec, error) { return workflow.LoadSpec(path) }
 

@@ -12,6 +12,7 @@
 //	aarc -workload chatbot -timeout 30s       # bound the search wall time
 //	aarc -workload ml-pipeline -dot           # emit Graphviz DOT and exit
 //	aarc -workload chatbot -trace trace.csv   # dump the sampling trace
+//	aarc -synth layered -synth-nodes 10000    # generate a synthetic workflow
 package main
 
 import (
@@ -32,6 +33,11 @@ func main() {
 	var (
 		specPath     = flag.String("spec", "", "path to a JSON workflow definition (overrides -workload)")
 		workloadName = flag.String("workload", "chatbot", "workload: chatbot | ml-pipeline | video-analysis")
+		synthTopo    = flag.String("synth", "", "generate a synthetic workflow instead: layered | fanout | chain | diamond | random")
+		synthNodes   = flag.Int("synth-nodes", 1000, "node count for -synth")
+		synthSeed    = flag.Uint64("synth-seed", 1, "generator seed for -synth (same seed, same workflow)")
+		synthDegree  = flag.Int("synth-degree", 0, "extra-edge density for -synth (0 = family default)")
+		synthHeavy   = flag.Bool("synth-heavy", false, "draw heavy-tailed (Pareto) work multipliers for -synth")
 		methodName   = flag.String("method", "aarc", "search method from the registry (see -list-methods)")
 		seed         = flag.Uint64("seed", 42, "random seed for the simulator and searcher")
 		hostCores    = flag.Float64("cores", 96, "host CPU capacity shared by concurrent containers")
@@ -52,6 +58,15 @@ func main() {
 	}
 
 	spec, err := loadSpec(*specPath, *workloadName)
+	if *synthTopo != "" {
+		spec, err = aarc.ScaleWorkload(aarc.ScaleOptions{
+			Topology:  aarc.ScaleTopology(*synthTopo),
+			Nodes:     *synthNodes,
+			Seed:      *synthSeed,
+			Degree:    *synthDegree,
+			HeavyTail: *synthHeavy,
+		})
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -100,6 +100,30 @@ func TestLoadSpecJSON(t *testing.T) {
 	}
 }
 
+func TestScaleWorkloadFacade(t *testing.T) {
+	opts := aarc.ScaleOptions{Topology: "layered", Nodes: 500, Seed: 9, HeavyTail: true}
+	spec, err := aarc.ScaleWorkload(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.G.NumNodes() != 500 {
+		t.Errorf("generated %d nodes, want 500", spec.G.NumNodes())
+	}
+	again, err := aarc.ScaleWorkload(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Name != spec.Name || again.G.NumEdges() != spec.G.NumEdges() {
+		t.Error("same options generated a different workflow")
+	}
+	if len(aarc.ScaleTopologies()) != 5 {
+		t.Errorf("topology families = %v", aarc.ScaleTopologies())
+	}
+	if _, err := aarc.ScaleWorkload(aarc.ScaleOptions{Topology: "nope", Nodes: 10, Seed: 1}); err == nil {
+		t.Error("unknown topology should error")
+	}
+}
+
 func TestLoadShippedExampleSpec(t *testing.T) {
 	spec, err := loadSpec("../../examples/specs/loganalytics.json", "")
 	if err != nil {

@@ -1,0 +1,99 @@
+package dag
+
+import (
+	"testing"
+)
+
+// bench10k builds the shared 10k-node, ~40k-edge layered-random benchmark
+// graph once per process.
+var bench10k = func() *Graph { return layeredRandomDAG(10_000, 3, 42) }()
+
+func BenchmarkTopoSort10k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench10k.TopoSort(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClone10k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = bench10k.Clone()
+	}
+}
+
+func BenchmarkCriticalPathFull10k(b *testing.B) {
+	weights := make(map[string]float64, bench10k.NumNodes())
+	for i, id := range bench10k.Nodes() {
+		weights[id] = float64(1 + i%97)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := CriticalPath(bench10k, weights); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOrderEdgeInsert10k measures one incremental edge insert+remove
+// cycle (Pearce–Kelly repair) against the 10k-node graph, the operation a
+// full TopoSort would otherwise pay for on every spec edit.
+func BenchmarkOrderEdgeInsert10k(b *testing.B) {
+	g := bench10k.Clone()
+	o, err := NewOrder(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := g.Nodes()
+	u, v := ids[len(ids)/2], ids[len(ids)/2+7]
+	if g.HasPath(u, v) || g.HasPath(v, u) {
+		// Walk forward until an unrelated pair is found.
+		for off := 8; off < 100; off++ {
+			v = ids[len(ids)/2+off]
+			if !g.HasPath(u, v) && !g.HasPath(v, u) {
+				break
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.EdgeAdded(u, v); err != nil {
+			b.Fatal(err)
+		}
+		g.MustAddEdge(u, v)
+		if err := g.RemoveEdge(u, v); err != nil {
+			b.Fatal(err)
+		}
+		o.EdgeRemoved(u, v)
+	}
+}
+
+// BenchmarkDynamicCriticalPath10k measures an incremental reweight +
+// critical-path query against the full recompute above.
+func BenchmarkDynamicCriticalPath10k(b *testing.B) {
+	g := bench10k.Clone()
+	weights := make(map[string]float64, g.NumNodes())
+	for i, id := range g.Nodes() {
+		weights[id] = float64(1 + i%97)
+	}
+	d, err := NewDynamic(g, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := d.Graph().Nodes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := ids[i%len(ids)]
+		if err := d.SetWeight(id, float64(1+i%89)); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := d.CriticalPath(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -34,10 +34,18 @@ type Graph struct {
 
 // New returns an empty graph.
 func New() *Graph {
+	return NewWithCapacity(0)
+}
+
+// NewWithCapacity returns an empty graph with internal maps and slices
+// pre-sized for n nodes, avoiding incremental rehashing when the final size
+// is known up front (10k-node synthetic workloads).
+func NewWithCapacity(n int) *Graph {
 	return &Graph{
-		index: make(map[string]int),
-		succ:  make(map[string][]string),
-		pred:  make(map[string][]string),
+		order: make([]string, 0, n),
+		index: make(map[string]int, n),
+		succ:  make(map[string][]string, n),
+		pred:  make(map[string][]string, n),
 	}
 }
 
@@ -140,19 +148,94 @@ func (g *Graph) Sinks() []string {
 	return out
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. The copy is built directly from
+// the internal representation — pre-sized maps, no duplicate-edge scans — so
+// cloning a 10k-node graph costs one pass over nodes and edges instead of
+// the quadratic-in-degree AddEdge path.
 func (g *Graph) Clone() *Graph {
-	out := New()
-	for _, id := range g.order {
-		out.MustAddNode(id)
+	out := NewWithCapacity(len(g.order))
+	out.order = append(out.order, g.order...)
+	for id, i := range g.index {
+		out.index[id] = i
 	}
 	for _, id := range g.order {
-		for _, s := range g.succ[id] {
-			out.MustAddEdge(id, s)
+		if s := g.succ[id]; len(s) > 0 {
+			out.succ[id] = append(make([]string, 0, len(s)), s...)
+		}
+		if p := g.pred[id]; len(p) > 0 {
+			out.pred[id] = append(make([]string, 0, len(p)), p...)
 		}
 	}
+	out.edges = g.edges
 	return out
 }
+
+// removeString splices the first occurrence of v out of s, preserving order.
+func removeString(s []string, v string) []string {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// RemoveEdge deletes the directed edge from → to. It returns ErrUnknownNode
+// if either endpoint does not exist and an error if the edge is absent.
+func (g *Graph) RemoveEdge(from, to string) error {
+	if _, ok := g.index[from]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, from)
+	}
+	if _, ok := g.index[to]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	found := false
+	for _, s := range g.succ[from] {
+		if s == to {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("dag: no edge %q -> %q", from, to)
+	}
+	g.succ[from] = removeString(g.succ[from], to)
+	g.pred[to] = removeString(g.pred[to], from)
+	g.edges--
+	return nil
+}
+
+// RemoveNode deletes a node and every edge incident to it. Insertion order
+// (and therefore the deterministic tie-breaking index) of the remaining
+// nodes is preserved; the operation is O(n + deg).
+func (g *Graph) RemoveNode(id string) error {
+	pos, ok := g.index[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	for _, s := range g.succ[id] {
+		g.pred[s] = removeString(g.pred[s], id)
+		g.edges--
+	}
+	for _, p := range g.pred[id] {
+		g.succ[p] = removeString(g.succ[p], id)
+		g.edges--
+	}
+	delete(g.succ, id)
+	delete(g.pred, id)
+	delete(g.index, id)
+	g.order = append(g.order[:pos], g.order[pos+1:]...)
+	for i := pos; i < len(g.order); i++ {
+		g.index[g.order[i]] = i
+	}
+	return nil
+}
+
+// OutDegree returns the number of successors of id (0 for unknown nodes).
+func (g *Graph) OutDegree(id string) int { return len(g.succ[id]) }
+
+// InDegree returns the number of predecessors of id (0 for unknown nodes).
+func (g *Graph) InDegree(id string) int { return len(g.pred[id]) }
 
 // TopoSort returns a topological order of the nodes (Kahn's algorithm with
 // insertion-order tie-breaking, so the result is deterministic). It returns

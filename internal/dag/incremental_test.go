@@ -1,0 +1,331 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+// layeredRandomDAG builds a connected layered-random DAG with n nodes: node i gets
+// a guaranteed edge from a random earlier node plus up to deg extras.
+func layeredRandomDAG(n, deg int, seed uint64) *Graph {
+	rng := rand.New(rand.NewPCG(seed, 0xd1a))
+	g := NewWithCapacity(n)
+	for i := 0; i < n; i++ {
+		g.MustAddNode(fmt.Sprintf("n%05d", i))
+	}
+	ids := g.Nodes()
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(ids[rng.IntN(i)], ids[i])
+		for k := 0; k < deg; k++ {
+			j := rng.IntN(i)
+			_ = g.AddEdge(ids[j], ids[i]) // ignore duplicates
+		}
+	}
+	return g
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New()
+	g.MustAddNode("a")
+	g.MustAddNode("b")
+	g.MustAddEdge("a", "b")
+	if err := g.RemoveEdge("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 || len(g.Succ("a")) != 0 || len(g.Pred("b")) != 0 {
+		t.Fatalf("edge not fully removed: %d edges", g.NumEdges())
+	}
+	if err := g.RemoveEdge("a", "b"); err == nil {
+		t.Error("removing a missing edge should error")
+	}
+	if err := g.RemoveEdge("a", "zz"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("want ErrUnknownNode, got %v", err)
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	g := New()
+	for _, id := range []string{"a", "b", "c", "d"} {
+		g.MustAddNode(id)
+	}
+	g.MustAddEdge("a", "b")
+	g.MustAddEdge("b", "c")
+	g.MustAddEdge("b", "d")
+	g.MustAddEdge("a", "d")
+	if err := g.RemoveNode("b"); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasNode("b") {
+		t.Fatal("b still present")
+	}
+	if g.NumEdges() != 1 { // only a->d survives
+		t.Fatalf("want 1 edge, got %d", g.NumEdges())
+	}
+	// Insertion order of the survivors is preserved, indices compacted.
+	want := []string{"a", "c", "d"}
+	got := g.Nodes()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nodes after removal = %v", got)
+		}
+		if g.index[want[i]] != i {
+			t.Errorf("index[%s] = %d, want %d", want[i], g.index[want[i]], i)
+		}
+	}
+	if err := g.RemoveNode("zz"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("want ErrUnknownNode, got %v", err)
+	}
+}
+
+func TestCloneEqualsOriginal(t *testing.T) {
+	g := layeredRandomDAG(200, 3, 7)
+	c := g.Clone()
+	if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() {
+		t.Fatalf("clone shape %d/%d vs %d/%d", c.NumNodes(), c.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for i, id := range g.Nodes() {
+		if c.Nodes()[i] != id {
+			t.Fatal("clone node order differs")
+		}
+		cs, gs := c.Succ(id), g.Succ(id)
+		if len(cs) != len(gs) {
+			t.Fatalf("succ(%s) differs", id)
+		}
+		for j := range cs {
+			if cs[j] != gs[j] {
+				t.Fatalf("succ(%s) differs", id)
+			}
+		}
+	}
+	// Deep copy: mutating the clone leaves the original alone.
+	c.MustAddNode("extra")
+	c.MustAddEdge(g.Nodes()[0], "extra")
+	if g.HasNode("extra") || g.NumEdges() == c.NumEdges() {
+		t.Error("clone shares state with the original")
+	}
+}
+
+func TestOrderEdgeAddedRepairsLocally(t *testing.T) {
+	g := New()
+	for _, id := range []string{"a", "b", "c", "d", "e"} {
+		g.MustAddNode(id)
+	}
+	g.MustAddEdge("a", "b")
+	g.MustAddEdge("b", "c")
+	o, err := NewOrder(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge that agrees with the order: no moves.
+	g.MustAddEdge("c", "d")
+	moves, err := o.EdgeAdded("c", "d")
+	if err != nil || len(moves) != 0 {
+		t.Fatalf("consistent edge: moves=%v err=%v", moves, err)
+	}
+	// Violating edge e -> a forces a local repair.
+	g.MustAddEdge("e", "a")
+	if _, err := o.EdgeAdded("e", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderCycleRejected(t *testing.T) {
+	g := New()
+	for _, id := range []string{"a", "b", "c"} {
+		g.MustAddNode(id)
+	}
+	g.MustAddEdge("a", "b")
+	g.MustAddEdge("b", "c")
+	o, err := NewOrder(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.EdgeAdded("c", "a"); !errors.Is(err, ErrCycle) {
+		t.Fatalf("want ErrCycle, got %v", err)
+	}
+	// The rejected insert must not have disturbed the order.
+	if err := o.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property test: random interleavings of edge inserts (some violating the
+// current order, some cycle-closing) keep the maintained order valid and
+// agree with full TopoSort reachability.
+func TestOrderRandomInsertions(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0x0c0))
+		n := 60
+		g := New()
+		for i := 0; i < n; i++ {
+			g.MustAddNode(fmt.Sprintf("n%03d", i))
+		}
+		ids := g.Nodes()
+		o, err := NewOrder(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inserted := 0
+		for k := 0; k < 400; k++ {
+			u, v := ids[rng.IntN(n)], ids[rng.IntN(n)]
+			if u == v || g.HasPath(u, v) {
+				continue // duplicate or parallel path; skip
+			}
+			if g.HasPath(v, u) {
+				if _, err := o.EdgeAdded(u, v); !errors.Is(err, ErrCycle) {
+					t.Fatalf("seed %d: cycle-closing edge %s->%s not rejected: %v", seed, u, v, err)
+				}
+				continue
+			}
+			if _, err := o.EdgeAdded(u, v); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			g.MustAddEdge(u, v)
+			inserted++
+		}
+		if inserted == 0 {
+			t.Fatalf("seed %d: no edges inserted", seed)
+		}
+		if err := o.Verify(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := g.TopoSort(); err != nil {
+			t.Fatalf("seed %d: graph became cyclic: %v", seed, err)
+		}
+	}
+}
+
+// Differential property: a Dynamic driven through random mutations matches
+// CriticalPath/TopoSort full recomputes at every step.
+func TestDynamicMatchesFullRecompute(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0xdff))
+		g := layeredRandomDAG(80, 2, seed)
+		weights := make(map[string]float64)
+		for _, id := range g.Nodes() {
+			weights[id] = float64(1 + rng.IntN(50))
+		}
+		full := g.Clone()
+		fullW := make(map[string]float64, len(weights))
+		for k, v := range weights {
+			fullW[k] = v
+		}
+		d, err := NewDynamic(g, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := 1000
+		for step := 0; step < 300; step++ {
+			ids := full.Nodes()
+			switch rng.IntN(5) {
+			case 0: // add node + edge from an existing node
+				id := fmt.Sprintf("x%04d", next)
+				next++
+				w := float64(1 + rng.IntN(50))
+				u := ids[rng.IntN(len(ids))]
+				if err := d.AddNode(id, w); err != nil {
+					t.Fatal(err)
+				}
+				if err := d.AddEdge(u, id); err != nil {
+					t.Fatal(err)
+				}
+				full.MustAddNode(id)
+				full.MustAddEdge(u, id)
+				fullW[id] = w
+			case 1: // remove a random non-essential node
+				if len(ids) <= 2 {
+					continue
+				}
+				id := ids[rng.IntN(len(ids))]
+				if err := d.RemoveNode(id); err != nil {
+					t.Fatal(err)
+				}
+				if err := full.RemoveNode(id); err != nil {
+					t.Fatal(err)
+				}
+				delete(fullW, id)
+			case 2: // add a random safe edge
+				u, v := ids[rng.IntN(len(ids))], ids[rng.IntN(len(ids))]
+				if u == v || full.HasPath(u, v) || full.HasPath(v, u) {
+					continue
+				}
+				if err := d.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+				full.MustAddEdge(u, v)
+			case 3: // remove a random edge
+				u := ids[rng.IntN(len(ids))]
+				ss := full.Succ(u)
+				if len(ss) == 0 {
+					continue
+				}
+				v := ss[rng.IntN(len(ss))]
+				if err := d.RemoveEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+				if err := full.RemoveEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			default: // reweight
+				id := ids[rng.IntN(len(ids))]
+				w := float64(1 + rng.IntN(50))
+				if err := d.SetWeight(id, w); err != nil {
+					t.Fatal(err)
+				}
+				fullW[id] = w
+			}
+			if full.NumNodes() == 0 {
+				break
+			}
+			if err := d.VerifyOrder(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			wantPath, wantW, err := CriticalPath(full, fullW)
+			if err != nil {
+				t.Fatalf("seed %d step %d: full recompute: %v", seed, step, err)
+			}
+			gotPath, gotW, err := d.CriticalPath()
+			if err != nil {
+				t.Fatalf("seed %d step %d: incremental: %v", seed, step, err)
+			}
+			if gotW != wantW {
+				t.Fatalf("seed %d step %d: weight %v != %v", seed, step, gotW, wantW)
+			}
+			if len(gotPath) != len(wantPath) {
+				t.Fatalf("seed %d step %d: path %v != %v", seed, step, gotPath, wantPath)
+			}
+			for i := range gotPath {
+				if gotPath[i] != wantPath[i] {
+					t.Fatalf("seed %d step %d: path %v != %v", seed, step, gotPath, wantPath)
+				}
+			}
+		}
+	}
+}
+
+func TestDynamicRejectsCycleUnchanged(t *testing.T) {
+	g := New()
+	for _, id := range []string{"a", "b", "c"} {
+		g.MustAddNode(id)
+	}
+	g.MustAddEdge("a", "b")
+	g.MustAddEdge("b", "c")
+	d, err := NewDynamic(g, map[string]float64{"a": 1, "b": 2, "c": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge("c", "a"); !errors.Is(err, ErrCycle) {
+		t.Fatalf("want ErrCycle, got %v", err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("rejected edge mutated the graph: %d edges", g.NumEdges())
+	}
+	if _, w, err := d.CriticalPath(); err != nil || w != 6 {
+		t.Fatalf("critical path after rejected insert: w=%v err=%v", w, err)
+	}
+}

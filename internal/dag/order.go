@@ -1,0 +1,249 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Move records one node changing position during an incremental order
+// repair. Consumers that mirror the order in dense arrays (the workflow
+// plan) apply the moves to relocate their rows.
+type Move struct {
+	ID       string
+	From, To int
+}
+
+// Order maintains a topological order of a Graph under mutation using
+// Pearce–Kelly local repair: inserting an edge that already agrees with the
+// order costs nothing, and a violating insert reorders only the nodes
+// between the two endpoints (the affected region) instead of re-running a
+// full topological sort.
+//
+// Positions are stable: nodes keep their slot until an edge insert forces a
+// local reorder, and removals leave a reusable hole rather than shifting
+// everyone behind them. That stability is what lets a compiled execution
+// plan key its dense arrays by position.
+//
+// The Order observes a Graph it does not own. Callers must report every
+// mutation (NodeAdded / NodeRemoved / EdgeAdded / EdgeRemoved); EdgeAdded
+// may be called before or after the edge is inserted into the Graph — the
+// repair only reads edges that already exist.
+type Order struct {
+	g   *Graph
+	ord []string       // position -> node ID; "" marks a hole
+	pos map[string]int // node ID -> position
+	fre []int          // hole positions available for reuse (LIFO)
+}
+
+// NewOrder builds an order for g from a fresh topological sort.
+func NewOrder(g *Graph) (*Order, error) {
+	topo, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	return NewOrderSeeded(g, topo), nil
+}
+
+// NewOrderSeeded builds an order from a known-valid topological order of g
+// (for callers that already paid for TopoSort). The slice is copied.
+func NewOrderSeeded(g *Graph, topo []string) *Order {
+	o := &Order{
+		g:   g,
+		ord: append(make([]string, 0, len(topo)), topo...),
+		pos: make(map[string]int, len(topo)),
+	}
+	for i, id := range topo {
+		o.pos[id] = i
+	}
+	return o
+}
+
+// Len returns the number of live nodes in the order.
+func (o *Order) Len() int { return len(o.pos) }
+
+// Cap returns the number of position slots, holes included.
+func (o *Order) Cap() int { return len(o.ord) }
+
+// Pos returns the position of id and whether it is present.
+func (o *Order) Pos(id string) (int, bool) {
+	p, ok := o.pos[id]
+	return p, ok
+}
+
+// At returns the node at position i, or "" for a hole.
+func (o *Order) At(i int) string { return o.ord[i] }
+
+// Slice returns the live nodes in topological order (a fresh copy).
+func (o *Order) Slice() []string {
+	out := make([]string, 0, len(o.pos))
+	for _, id := range o.ord {
+		if id != "" {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// NodeAdded assigns a position to a newly inserted node and returns it. A
+// node with no edges is consistent at any position, so holes are reused
+// before the order grows.
+func (o *Order) NodeAdded(id string) int {
+	var p int
+	if n := len(o.fre); n > 0 {
+		p = o.fre[n-1]
+		o.fre = o.fre[:n-1]
+	} else {
+		p = len(o.ord)
+		o.ord = append(o.ord, "")
+	}
+	o.ord[p] = id
+	o.pos[id] = p
+	return p
+}
+
+// NodeRemoved vacates a node's position, leaving a reusable hole, and
+// returns the vacated position (-1 if the node was unknown). Removing a
+// node never invalidates the order of the remaining nodes.
+func (o *Order) NodeRemoved(id string) int {
+	p, ok := o.pos[id]
+	if !ok {
+		return -1
+	}
+	o.ord[p] = ""
+	delete(o.pos, id)
+	o.fre = append(o.fre, p)
+	return p
+}
+
+// EdgeRemoved is a no-op: deleting an edge cannot invalidate a valid
+// topological order. It exists so mutation call sites stay symmetric.
+func (o *Order) EdgeRemoved(from, to string) {}
+
+// EdgeAdded repairs the order for a new edge from → to and returns the
+// position moves it performed (nil when the order already agrees). It
+// returns ErrCycle — without touching the order — when the edge would close
+// a directed cycle.
+//
+// This is the Pearce–Kelly algorithm: with lb = pos(to) and ub = pos(from),
+// the affected region is the position window [lb, ub]. A forward DFS from
+// `to` (bounded by ub) collects deltaF, the in-window descendants; hitting
+// `from` proves a cycle. A backward DFS from `from` (bounded by lb)
+// collects deltaB, the in-window ancestors. Reassigning the union's
+// positions — deltaB first, then deltaF, each in their existing relative
+// order — restores a valid order while every node outside the two deltas
+// keeps its slot.
+func (o *Order) EdgeAdded(from, to string) ([]Move, error) {
+	ub, ok := o.pos[from]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, from)
+	}
+	lb, ok := o.pos[to]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	if from == to {
+		return nil, fmt.Errorf("%w: %q", ErrSelfLoop, from)
+	}
+	if lb > ub {
+		return nil, nil // already consistent
+	}
+
+	// Forward DFS from `to`, restricted to positions <= ub.
+	deltaF := []string{to}
+	inF := map[string]bool{to: true}
+	stack := []string{to}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range o.g.succ[n] {
+			if s == from {
+				return nil, fmt.Errorf("%w: inserting %q -> %q", ErrCycle, from, to)
+			}
+			if p, ok := o.pos[s]; ok && p <= ub && !inF[s] {
+				inF[s] = true
+				deltaF = append(deltaF, s)
+				stack = append(stack, s)
+			}
+		}
+	}
+
+	// Backward DFS from `from`, restricted to positions >= lb.
+	deltaB := []string{from}
+	inB := map[string]bool{from: true}
+	stack = append(stack[:0], from)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range o.g.pred[n] {
+			if pp, ok := o.pos[p]; ok && pp >= lb && !inB[p] {
+				inB[p] = true
+				deltaB = append(deltaB, p)
+				stack = append(stack, p)
+			}
+		}
+	}
+
+	// Sort each delta by current position, pool the vacated slots, and
+	// reassign: ancestors first, descendants after.
+	sort.Slice(deltaB, func(i, j int) bool { return o.pos[deltaB[i]] < o.pos[deltaB[j]] })
+	sort.Slice(deltaF, func(i, j int) bool { return o.pos[deltaF[i]] < o.pos[deltaF[j]] })
+	slots := make([]int, 0, len(deltaB)+len(deltaF))
+	for _, id := range deltaB {
+		slots = append(slots, o.pos[id])
+	}
+	for _, id := range deltaF {
+		slots = append(slots, o.pos[id])
+	}
+	sort.Ints(slots)
+
+	seq := append(deltaB, deltaF...)
+	var moves []Move
+	for i, id := range seq {
+		if oldP, newP := o.pos[id], slots[i]; oldP != newP {
+			o.pos[id] = newP
+			moves = append(moves, Move{ID: id, From: oldP, To: newP})
+		}
+	}
+	// The permutation stays inside the pooled slots: rewrite exactly those.
+	for i, id := range seq {
+		o.ord[slots[i]] = id
+	}
+	return moves, nil
+}
+
+// Verify checks that the order is a valid topological order of the observed
+// graph: every live graph node holds exactly one position and every edge
+// points forward. It is O(V + E) and intended for tests and differential
+// harnesses.
+func (o *Order) Verify() error {
+	if len(o.pos) != len(o.g.order) {
+		return fmt.Errorf("dag: order tracks %d nodes, graph has %d", len(o.pos), len(o.g.order))
+	}
+	for i, id := range o.ord {
+		if id == "" {
+			continue
+		}
+		if p, ok := o.pos[id]; !ok || p != i {
+			return fmt.Errorf("dag: order slot %d holds %q but pos says %d", i, id, p)
+		}
+		if _, ok := o.g.index[id]; !ok {
+			return fmt.Errorf("dag: order holds %q which is not in the graph", id)
+		}
+	}
+	for _, id := range o.g.order {
+		p, ok := o.pos[id]
+		if !ok {
+			return fmt.Errorf("dag: graph node %q missing from order", id)
+		}
+		for _, s := range o.g.succ[id] {
+			sp, ok := o.pos[s]
+			if !ok {
+				return fmt.Errorf("dag: successor %q of %q missing from order", s, id)
+			}
+			if sp <= p {
+				return fmt.Errorf("dag: order violated: %q (pos %d) -> %q (pos %d)", id, p, s, sp)
+			}
+		}
+	}
+	return nil
+}

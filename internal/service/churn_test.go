@@ -1,0 +1,175 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"testing"
+
+	"aarc/internal/workflow"
+	"aarc/internal/workloads"
+)
+
+// churnBody mutates the spec in place with one random churn primitive and
+// returns the /v1/configure request body plus the spec's canonical bytes.
+func churnBody(t *testing.T, spec *workflow.Spec, rng *rand.Rand) (string, []byte) {
+	t.Helper()
+	var (
+		d   workflow.Delta
+		err error
+	)
+	switch rng.IntN(3) {
+	case 0:
+		d, err = workloads.AddRandomNodes(spec, rng, 1+rng.IntN(2))
+	case 1:
+		d, err = workloads.DeleteRandomNodes(spec, rng, 1+rng.IntN(2))
+	default:
+		d, err = workloads.RewireRandomEdges(spec, rng, 1+rng.IntN(3))
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	canon, err := workflow.CanonicalJSON(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := workflow.EncodeSpec(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf(`{"spec": %s}`, buf.String()), canon
+}
+
+// TestHTTPConfigureChurnFingerprints hammers POST /v1/configure with a
+// churn-mutated spec stream and asserts the service's identity contract:
+// fingerprints diverge exactly when the canonical spec diverges, repeated
+// submissions of the same spec hit the cache with byte-identical bodies,
+// and the hit/miss/search accounting matches the distinct-spec count.
+func TestHTTPConfigureChurnFingerprints(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	spec, err := workloads.Scale(workloads.ScaleOptions{Topology: workloads.TopologyRandom, Nodes: 60, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(17, 0x5e7f))
+
+	steps := 30
+	if testing.Short() {
+		steps = 10
+	}
+	searchesBefore := stubSearches.Load()
+	statsBefore := svc.Stats()
+	fps := make(map[string]string, steps) // canonical bytes -> fingerprint
+	for step := 0; step < steps; step++ {
+		body, canon := churnBody(t, spec, rng)
+
+		resp, b := postJSON(t, ts.URL+"/v1/configure", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("step %d: status %d: %s", step, resp.StatusCode, b)
+		}
+		if got := resp.Header.Get("X-Aarc-Cache"); got != "miss" {
+			t.Fatalf("step %d: fresh canonical spec answered from cache (%q)", step, got)
+		}
+		var rec Recommendation
+		if err := json.Unmarshal(b, &rec); err != nil {
+			t.Fatalf("step %d: %v\n%s", step, err, b)
+		}
+		for prevCanon, prevFP := range fps {
+			if (prevCanon == string(canon)) != (prevFP == rec.Fingerprint) {
+				t.Fatalf("step %d: fingerprint/canonical divergence mismatch (fp %s)", step, rec.Fingerprint)
+			}
+		}
+		fps[string(canon)] = rec.Fingerprint
+
+		// Resubmitting the identical spec must hit, with identical bytes.
+		resp2, b2 := postJSON(t, ts.URL+"/v1/configure", body)
+		if got := resp2.Header.Get("X-Aarc-Cache"); got != "hit" {
+			t.Fatalf("step %d: resubmission was a %q, want hit", step, got)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatalf("step %d: hit bytes differ from miss bytes", step)
+		}
+	}
+
+	if got := stubSearches.Load() - searchesBefore; got != int64(steps) {
+		t.Errorf("%d distinct specs ran %d searches", steps, got)
+	}
+	stats := svc.Stats()
+	if misses := stats.Misses - statsBefore.Misses; misses != int64(steps) {
+		t.Errorf("misses = %d, want %d", misses, steps)
+	}
+	if hits := stats.Hits - statsBefore.Hits; hits != int64(steps) {
+		t.Errorf("hits = %d, want %d", hits, steps)
+	}
+}
+
+// TestHTTPConfigureChurnConcurrent replays a mutated-spec stream from many
+// goroutines at once (the interesting schedule under -race): every request
+// for the same canonical spec must come back with the same fingerprint, and
+// each distinct spec must run exactly one search.
+func TestHTTPConfigureChurnConcurrent(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	spec, err := workloads.Scale(workloads.ScaleOptions{Topology: workloads.TopologyLayered, Nodes: 50, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(23, 0xbeef))
+
+	const distinct = 6
+	const callers = 48
+	bodies := make([]string, distinct)
+	for i := range bodies {
+		bodies[i], _ = churnBody(t, spec, rng)
+	}
+
+	searchesBefore := stubSearches.Load()
+	statsBefore := svc.Stats()
+	var wg sync.WaitGroup
+	fingerprints := make([]string, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, b := postJSON(t, ts.URL+"/v1/configure", bodies[i%distinct])
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("caller %d: status %d: %s", i, resp.StatusCode, b)
+				return
+			}
+			var rec Recommendation
+			if err := json.Unmarshal(b, &rec); err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			fingerprints[i] = rec.Fingerprint
+		}(i)
+	}
+	wg.Wait()
+
+	for i := distinct; i < callers; i++ {
+		if fingerprints[i] != fingerprints[i%distinct] {
+			t.Fatalf("caller %d fingerprint %q != caller %d %q",
+				i, fingerprints[i], i%distinct, fingerprints[i%distinct])
+		}
+	}
+	seen := make(map[string]bool)
+	for _, fp := range fingerprints[:distinct] {
+		if seen[fp] {
+			t.Fatalf("two distinct canonical specs share fingerprint %q", fp)
+		}
+		seen[fp] = true
+	}
+	if got := stubSearches.Load() - searchesBefore; got != distinct {
+		t.Errorf("%d distinct specs ran %d searches", distinct, got)
+	}
+	stats := svc.Stats()
+	total := (stats.Hits - statsBefore.Hits) + (stats.Misses - statsBefore.Misses)
+	if total != callers {
+		t.Errorf("hits+misses = %d, want %d", total, callers)
+	}
+}

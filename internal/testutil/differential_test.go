@@ -1,0 +1,57 @@
+package testutil
+
+import (
+	"testing"
+
+	"aarc/internal/workloads"
+)
+
+// TestDifferential10k is the acceptance run of the differential harness: a
+// 10k-node generated DAG driven through 1000 seeded churn deltas (well over
+// 1000 individual mutations), with the incrementally patched plan, the
+// incremental topological order, and the incremental critical path all
+// asserted identical to from-scratch recomputation. Under -short or the race
+// detector the regime shrinks so the suite stays quick; the full scale runs
+// in plain mode and in the dedicated CI smoke.
+func TestDifferential10k(t *testing.T) {
+	opts := DifferentialOptions{
+		Topology: workloads.TopologyLayered,
+		Nodes:    10_000,
+		Steps:    1000,
+		Seed:     42,
+	}
+	wantMutations := 1000
+	if testing.Short() || RaceEnabled {
+		opts.Nodes = 1500
+		opts.Steps = 250
+		wantMutations = 250
+	}
+	got := RunDifferential(t, opts)
+	if got < wantMutations {
+		t.Fatalf("harness exercised only %d mutations, want >= %d", got, wantMutations)
+	}
+	t.Logf("differential: %d nodes, %d steps, %d mutations", opts.Nodes, opts.Steps, got)
+}
+
+// TestDifferentialFamilies runs a smaller differential pass over every
+// topology family, so family-specific structure (wide fan-out joins, long
+// chains, lattice barriers) is exercised by the same identical-results
+// property.
+func TestDifferentialFamilies(t *testing.T) {
+	for i, topo := range workloads.Topologies() {
+		t.Run(string(topo), func(t *testing.T) {
+			t.Parallel()
+			opts := DifferentialOptions{
+				Topology: topo,
+				Nodes:    600,
+				Steps:    120,
+				Seed:     uint64(100 + i),
+			}
+			if testing.Short() {
+				opts.Nodes = 200
+				opts.Steps = 40
+			}
+			RunDifferential(t, opts)
+		})
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in; heavy
+// differential runs scale their workload down under it.
+const RaceEnabled = false

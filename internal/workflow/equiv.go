@@ -1,0 +1,93 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EquivalentPlans checks that two runners' compiled plans describe the same
+// workflow: the same live node set, and per node the same group, profile,
+// indegree and successor set. Dense numbering is allowed to differ — a
+// patched plan keeps stable row slots while a fresh compile renumbers from
+// the topological sort — so the comparison is by node ID. The differential
+// harness uses it to assert that an incrementally patched plan is
+// semantically identical to a from-scratch compile of the same spec.
+func EquivalentPlans(a, b *Runner) error {
+	pa, pb := a.plan, b.plan
+	if err := pa.sweep(); err != nil {
+		return fmt.Errorf("first plan invalid: %w", err)
+	}
+	if err := pb.sweep(); err != nil {
+		return fmt.Errorf("second plan invalid: %w", err)
+	}
+	rowA := liveRows(pa)
+	rowB := liveRows(pb)
+	if len(rowA) != len(rowB) {
+		return fmt.Errorf("plans have %d vs %d live nodes", len(rowA), len(rowB))
+	}
+	for id, ia := range rowA {
+		ib, ok := rowB[id]
+		if !ok {
+			return fmt.Errorf("node %q only in first plan", id)
+		}
+		if pa.groups[ia] != pb.groups[ib] {
+			return fmt.Errorf("node %q: group %q vs %q", id, pa.groups[ia], pb.groups[ib])
+		}
+		if pa.profiles[ia] != pb.profiles[ib] {
+			return fmt.Errorf("node %q: profiles differ", id)
+		}
+		if pa.indeg0[ia] != pb.indeg0[ib] {
+			return fmt.Errorf("node %q: indegree %d vs %d", id, pa.indeg0[ia], pb.indeg0[ib])
+		}
+		sa := succIDs(pa, ia)
+		sb := succIDs(pb, ib)
+		if len(sa) != len(sb) {
+			return fmt.Errorf("node %q: %d vs %d successors", id, len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				return fmt.Errorf("node %q: successor sets differ (%v vs %v)", id, sa, sb)
+			}
+		}
+	}
+	ga := liveGroupSet(pa)
+	gb := liveGroupSet(pb)
+	if len(ga) != len(gb) {
+		return fmt.Errorf("plans have %d vs %d live groups", len(ga), len(gb))
+	}
+	for g := range ga {
+		if !gb[g] {
+			return fmt.Errorf("group %q only in first plan", g)
+		}
+	}
+	return nil
+}
+
+func liveRows(p *plan) map[string]int {
+	out := make(map[string]int, len(p.ids))
+	for i, id := range p.ids {
+		if id != "" {
+			out[id] = i
+		}
+	}
+	return out
+}
+
+func succIDs(p *plan, row int) []string {
+	out := make([]string, 0, len(p.succs[row]))
+	for _, e := range p.succs[row] {
+		out = append(out, p.ids[e])
+	}
+	sort.Strings(out)
+	return out
+}
+
+func liveGroupSet(p *plan) map[string]bool {
+	out := make(map[string]bool, len(p.groupNames))
+	for gi, g := range p.groupNames {
+		if p.groupLive[gi] > 0 {
+			out[g] = true
+		}
+	}
+	return out
+}

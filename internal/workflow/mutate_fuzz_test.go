@@ -1,0 +1,124 @@
+package workflow_test
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"aarc/internal/perfmodel"
+	"aarc/internal/workflow"
+	"aarc/internal/workloads"
+)
+
+// FuzzMutate drives a generated workflow through an arbitrary mutation
+// script (one churn primitive per script byte) and asserts the identity
+// invariants the serving layer depends on after every applied delta:
+//
+//   - the mutated spec still validates,
+//   - canonicalize → decode → canonicalize is byte-exact,
+//   - the fingerprint is a pure function of the canonical bytes: it changes
+//     exactly when the canonical bytes change,
+//   - Validate never accepts a cyclic mutation result (a forced back-edge
+//     must be caught at Apply or Validate time).
+func FuzzMutate(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 1, 2, 3, 4})
+	f.Add(uint64(7), []byte{3, 3, 0, 2, 1, 4, 0})
+	f.Add(uint64(42), []byte("churn the plan"))
+	f.Add(uint64(1234), []byte{4, 4, 4})
+
+	f.Fuzz(func(t *testing.T, seed uint64, script []byte) {
+		if len(script) > 48 {
+			script = script[:48]
+		}
+		topos := workloads.Topologies()
+		spec, err := workloads.Scale(workloads.ScaleOptions{
+			Topology: topos[int(seed%uint64(len(topos)))],
+			Nodes:    20 + int(seed%30),
+			Seed:     seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(seed, 0xfa22))
+		prevCanon, err := workflow.CanonicalJSON(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevFP, err := workflow.Fingerprint(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for i, op := range script {
+			var d workflow.Delta
+			switch op % 5 {
+			case 0:
+				d, err = workloads.AddRandomNodes(spec, rng, 1)
+			case 1:
+				d, err = workloads.DeleteRandomNodes(spec, rng, 1)
+			case 2:
+				d, err = workloads.RewireRandomEdges(spec, rng, 1)
+			case 3:
+				ids := spec.G.Nodes()
+				id := ids[rng.IntN(len(ids))]
+				p := spec.Profiles[id]
+				p.CPUWorkMS *= 0.5 + rng.Float64()
+				d.Profiles = map[string]perfmodel.Profile{id: p}
+			default:
+				// Forced cycle attempt on a throwaway clone: reversing an
+				// existing edge u→v closes a 2-cycle. Either Apply rejects it
+				// or Validate must.
+				clone := spec.Clone()
+				ids := clone.G.Nodes()
+				u := ids[rng.IntN(len(ids))]
+				succs := clone.G.Succ(u)
+				if len(succs) == 0 {
+					continue
+				}
+				v := succs[rng.IntN(len(succs))]
+				back := workflow.Delta{AddEdges: []workflow.Edge{{From: v, To: u}}}
+				if err := clone.Apply(back); err == nil {
+					if err := clone.Validate(); err == nil {
+						t.Fatalf("op %d: Validate accepted cyclic spec after adding %s->%s", i, v, u)
+					}
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("op %d (%d): %v", i, op%5, err)
+			}
+			if d.Empty() {
+				continue
+			}
+			if err := spec.Apply(d); err != nil {
+				t.Fatalf("op %d (%d): apply: %v", i, op%5, err)
+			}
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("op %d (%d): mutated spec invalid: %v", i, op%5, err)
+			}
+			canon, err := workflow.CanonicalJSON(spec)
+			if err != nil {
+				t.Fatalf("op %d: canonicalize: %v", i, err)
+			}
+			decoded, err := workflow.DecodeCanonicalSpec(canon)
+			if err != nil {
+				t.Fatalf("op %d: decode canonical: %v", i, err)
+			}
+			again, err := workflow.CanonicalJSON(decoded)
+			if err != nil {
+				t.Fatalf("op %d: re-canonicalize: %v", i, err)
+			}
+			if !bytes.Equal(canon, again) {
+				t.Fatalf("op %d: canonical round trip not byte-exact:\n%s\nvs\n%s", i, canon, again)
+			}
+			fp, err := workflow.Fingerprint(spec)
+			if err != nil {
+				t.Fatalf("op %d: fingerprint: %v", i, err)
+			}
+			if canonChanged, fpChanged := !bytes.Equal(canon, prevCanon), fp != prevFP; canonChanged != fpChanged {
+				t.Fatalf("op %d: canonical changed=%v but fingerprint changed=%v", i, canonChanged, fpChanged)
+			}
+			prevCanon, prevFP = canon, fp
+		}
+	})
+}

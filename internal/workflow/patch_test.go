@@ -1,0 +1,340 @@
+package workflow
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"aarc/internal/dag"
+	"aarc/internal/perfmodel"
+	"aarc/internal/resources"
+	"aarc/internal/search"
+	"aarc/internal/simfaas"
+)
+
+// flatProfile returns a small valid profile for patch tests.
+func flatProfile(name string, workMS float64) perfmodel.Profile {
+	return perfmodel.Profile{
+		Name: name, CPUWorkMS: workMS, ParallelFrac: 0.5, MaxParallel: 4,
+		IOMS: 100, FootprintMB: 512, MinMemMB: 256, PressureK: 1, NoiseStd: 0.01,
+	}
+}
+
+// patchSpec builds a connected layered-random spec with n nodes for patch
+// tests and benchmarks (package-internal so it can exercise plan state).
+func patchSpec(n int, seed uint64) *Spec {
+	rng := rand.New(rand.NewPCG(seed, 0xbe9c))
+	g := dag.NewWithCapacity(n)
+	profiles := make(map[string]perfmodel.Profile, n)
+	groups := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("n%05d", i)
+		g.MustAddNode(id)
+		profiles[id] = flatProfile(id, 500+float64(rng.IntN(2000)))
+		groups[id] = fmt.Sprintf("g%03d", i%257)
+	}
+	ids := g.Nodes()
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(ids[rng.IntN(i)], ids[i])
+		for k := 0; k < 3; k++ {
+			_ = g.AddEdge(ids[rng.IntN(i)], ids[i]) // ignore duplicates
+		}
+	}
+	spec := &Spec{
+		Name:     fmt.Sprintf("patch-%d-%d", n, seed),
+		G:        g,
+		Profiles: profiles,
+		Groups:   groups,
+		SLOMS:    1e9,
+		Limits:   resources.DefaultLimits(),
+	}
+	spec.Base = resources.Uniform(spec.FunctionGroups(), resources.Config{CPU: 4, MemMB: 8192})
+	return spec
+}
+
+// coldRunner builds a runner on a fresh keep-alive-free platform, so every
+// invocation is cold and results are a pure function of plan + assignment.
+func coldRunner(t testing.TB, spec *Spec) *Runner {
+	t.Helper()
+	o := simfaas.DefaultOptions()
+	o.KeepAlive = false
+	r, err := NewRunner(spec, RunnerOptions{Platform: simfaas.New(o)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func relClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}
+
+// checkSameResult compares two evaluation results: structure (OOM, failure
+// node, per-node group/skip status, configs) exactly, float timings within
+// relative 1e-9 — two plans with different dense numbering may sum floats in
+// a different order.
+func checkSameResult(t testing.TB, ctx string, a, b search.Result) {
+	t.Helper()
+	if a.OOM != b.OOM || a.Fail != b.Fail {
+		t.Fatalf("%s: OOM/Fail %v/%q vs %v/%q", ctx, a.OOM, a.Fail, b.OOM, b.Fail)
+	}
+	if !relClose(a.E2EMS, b.E2EMS) || !relClose(a.Cost, b.Cost) {
+		t.Fatalf("%s: E2E %v vs %v, cost %v vs %v", ctx, a.E2EMS, b.E2EMS, a.Cost, b.Cost)
+	}
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("%s: %d vs %d node results", ctx, len(a.Nodes), len(b.Nodes))
+	}
+	for id, na := range a.Nodes {
+		nb, ok := b.Nodes[id]
+		if !ok {
+			t.Fatalf("%s: node %q missing from second result", ctx, id)
+		}
+		if na.Group != nb.Group || na.Skipped != nb.Skipped || na.OOM != nb.OOM || na.Config != nb.Config {
+			t.Fatalf("%s: node %q structure differs: %+v vs %+v", ctx, id, na, nb)
+		}
+		if !relClose(na.StartMS, nb.StartMS) || !relClose(na.FinishMS, nb.FinishMS) ||
+			!relClose(na.RuntimeMS, nb.RuntimeMS) || !relClose(na.Cost, nb.Cost) {
+			t.Fatalf("%s: node %q timings differ: %+v vs %+v", ctx, id, na, nb)
+		}
+	}
+}
+
+// checkPatchAgainstRebuild asserts the patched runner matches a from-scratch
+// runner compiled from the same (already mutated) spec.
+func checkPatchAgainstRebuild(t *testing.T, r *Runner) {
+	t.Helper()
+	fresh := coldRunner(t, r.Spec().Clone())
+	if err := EquivalentPlans(r, fresh); err != nil {
+		t.Fatalf("patched plan != rebuilt plan: %v", err)
+	}
+	a := r.Base()
+	got, err := r.MeanEvaluate(a)
+	if err != nil {
+		t.Fatalf("patched evaluate: %v", err)
+	}
+	want, err := fresh.MeanEvaluate(a)
+	if err != nil {
+		t.Fatalf("rebuilt evaluate: %v", err)
+	}
+	checkSameResult(t, "patched vs rebuilt", got, want)
+}
+
+func TestPatchAddNodeAndEdges(t *testing.T) {
+	spec := patchSpec(60, 1)
+	r := coldRunner(t, spec)
+	ids := spec.G.Nodes()
+	d := Delta{
+		AddNodes: []NodeAdd{{ID: "extra", Group: "gnew", Profile: flatProfile("extra", 900)}},
+		AddEdges: []Edge{{From: ids[3], To: "extra"}, {From: "extra", To: ids[55]}},
+		Base:     resources.Assignment{"gnew": {CPU: 2, MemMB: 2048}},
+	}
+	if err := r.Patch(d); err != nil {
+		t.Fatal(err)
+	}
+	checkPatchAgainstRebuild(t, r)
+}
+
+func TestPatchRemoveNode(t *testing.T) {
+	g := dag.New()
+	for _, id := range []string{"a", "b", "c"} {
+		g.MustAddNode(id)
+	}
+	g.MustAddEdge("a", "b")
+	g.MustAddEdge("b", "c")
+	g.MustAddEdge("a", "c")
+	spec := &Spec{
+		Name: "rm", G: g, SLOMS: 1e9, Limits: resources.DefaultLimits(),
+		Profiles: map[string]perfmodel.Profile{
+			"a": flatProfile("a", 500), "b": flatProfile("b", 800), "c": flatProfile("c", 300),
+		},
+	}
+	spec.Base = resources.Uniform(spec.FunctionGroups(), resources.Config{CPU: 4, MemMB: 8192})
+	r := coldRunner(t, spec)
+	// Removing b: its incident edges are expanded by normalization, its
+	// group (itself) loses its last member and its base entry is pruned.
+	if err := r.Patch(Delta{RemoveNodes: []string{"b"}}); err != nil {
+		t.Fatal(err)
+	}
+	if spec.G.HasNode("b") || spec.Profiles["b"].Name != "" {
+		t.Fatal("b not fully removed from spec")
+	}
+	if _, ok := spec.Base["b"]; ok {
+		t.Fatal("orphaned base config for b survived")
+	}
+	checkPatchAgainstRebuild(t, r)
+}
+
+func TestPatchOrderRepair(t *testing.T) {
+	g := dag.New()
+	for _, id := range []string{"a", "b", "c", "d"} {
+		g.MustAddNode(id)
+	}
+	g.MustAddEdge("a", "b")
+	g.MustAddEdge("a", "c")
+	g.MustAddEdge("b", "d")
+	g.MustAddEdge("c", "d")
+	spec := &Spec{
+		Name: "repair", G: g, SLOMS: 1e9, Limits: resources.DefaultLimits(),
+		Profiles: map[string]perfmodel.Profile{
+			"a": flatProfile("a", 500), "b": flatProfile("b", 800),
+			"c": flatProfile("c", 600), "d": flatProfile("d", 300),
+		},
+	}
+	spec.Base = resources.Uniform(spec.FunctionGroups(), resources.Config{CPU: 4, MemMB: 8192})
+	r := coldRunner(t, spec)
+	// Topo order is a,b,c,d; the edge c -> b contradicts it and forces a
+	// Pearce–Kelly row relocation inside the plan.
+	if err := r.Patch(Delta{AddEdges: []Edge{{From: "c", To: "b"}}}); err != nil {
+		t.Fatal(err)
+	}
+	checkPatchAgainstRebuild(t, r)
+}
+
+func TestPatchReweight(t *testing.T) {
+	spec := patchSpec(40, 2)
+	r := coldRunner(t, spec)
+	id := spec.G.Nodes()[17]
+	if err := r.Patch(Delta{Profiles: map[string]perfmodel.Profile{id: flatProfile(id, 9000)}}); err != nil {
+		t.Fatal(err)
+	}
+	checkPatchAgainstRebuild(t, r)
+}
+
+func TestPatchCyclePoisonsRunner(t *testing.T) {
+	spec := patchSpec(30, 3)
+	r := coldRunner(t, spec)
+	ids := spec.G.Nodes()
+	// ids[0] reaches ids[29] (layered-random guarantees ancestry chains to
+	// node 0), so the reverse edge closes a cycle.
+	if err := r.Patch(Delta{AddEdges: []Edge{{From: ids[29], To: ids[0]}}}); err == nil {
+		t.Fatal("cycle-closing patch succeeded")
+	}
+	if _, err := r.MeanEvaluate(r.Base()); err == nil {
+		t.Fatal("poisoned runner still evaluates")
+	}
+	if err := r.Patch(Delta{}); err == nil {
+		t.Fatal("poisoned runner accepts patches")
+	}
+}
+
+func TestPatchGroupRetireAndRevive(t *testing.T) {
+	g := dag.New()
+	for _, id := range []string{"a", "b", "c"} {
+		g.MustAddNode(id)
+	}
+	g.MustAddEdge("a", "b")
+	g.MustAddEdge("b", "c")
+	spec := &Spec{
+		Name: "revive", G: g, SLOMS: 1e9, Limits: resources.DefaultLimits(),
+		Profiles: map[string]perfmodel.Profile{
+			"a": flatProfile("a", 500), "b": flatProfile("b", 800), "c": flatProfile("c", 300),
+		},
+		Groups: map[string]string{"b": "shared"},
+	}
+	spec.Base = resources.Uniform(spec.FunctionGroups(), resources.Config{CPU: 4, MemMB: 8192})
+	r := coldRunner(t, spec)
+	if err := r.Patch(Delta{RemoveNodes: []string{"b"}, AddEdges: []Edge{{From: "a", To: "c"}}}); err != nil {
+		t.Fatal(err)
+	}
+	checkPatchAgainstRebuild(t, r)
+	// Revive the retired group with a new member reusing the tombstoned row.
+	d := Delta{
+		AddNodes: []NodeAdd{{ID: "b2", Group: "shared", Profile: flatProfile("b2", 700)}},
+		AddEdges: []Edge{{From: "a", To: "b2"}, {From: "b2", To: "c"}},
+		Base:     resources.Assignment{"shared": {CPU: 2, MemMB: 2048}},
+	}
+	if err := r.Patch(d); err != nil {
+		t.Fatal(err)
+	}
+	checkPatchAgainstRebuild(t, r)
+}
+
+func TestSpecCloneIndependent(t *testing.T) {
+	spec := patchSpec(20, 4)
+	c := spec.Clone()
+	if err := c.Apply(Delta{RemoveNodes: []string{spec.G.Nodes()[10]}}); err != nil {
+		t.Fatal(err)
+	}
+	if spec.G.NumNodes() != 20 || c.G.NumNodes() != 19 {
+		t.Fatalf("clone not independent: %d/%d nodes", spec.G.NumNodes(), c.G.NumNodes())
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPatchRandomDeltasMatchRebuild drives a runner through a stream of
+// random structured deltas and, after every step, checks the patched plan
+// against a from-scratch compile of the same spec (the in-package complement
+// to the full differential harness in internal/testutil).
+func TestPatchRandomDeltasMatchRebuild(t *testing.T) {
+	spec := patchSpec(120, 5)
+	r := coldRunner(t, spec)
+	rng := rand.New(rand.NewPCG(99, 0x9a7c4))
+	next := 0
+	for step := 0; step < 60; step++ {
+		ids := spec.G.Nodes()
+		var d Delta
+		switch rng.IntN(4) {
+		case 0: // insert a node between an edge's endpoints
+			u := ids[rng.IntN(len(ids))]
+			ss := spec.G.Succ(u)
+			if len(ss) == 0 {
+				continue
+			}
+			v := ss[rng.IntN(len(ss))]
+			id := fmt.Sprintf("mid%04d", next)
+			next++
+			d = Delta{
+				AddNodes: []NodeAdd{{ID: id, Profile: flatProfile(id, 400)}},
+				AddEdges: []Edge{{From: u, To: id}, {From: id, To: v}},
+				Base:     resources.Assignment{id: {CPU: 2, MemMB: 2048}},
+			}
+		case 1: // remove an interior node, bridging preds to succs
+			id := ids[1+rng.IntN(len(ids)-1)]
+			preds, succs := spec.G.Pred(id), spec.G.Succ(id)
+			if len(preds) == 0 || len(succs) == 0 {
+				continue
+			}
+			d = Delta{RemoveNodes: []string{id}}
+			for _, p := range preds {
+				for _, s := range succs {
+					if !hasEdge(spec.G, p, s) {
+						d.AddEdges = append(d.AddEdges, Edge{From: p, To: s})
+					}
+				}
+			}
+		case 2: // safe extra edge
+			u, v := ids[rng.IntN(len(ids))], ids[rng.IntN(len(ids))]
+			if u == v || hasEdge(spec.G, u, v) || spec.G.HasPath(v, u) {
+				continue
+			}
+			d = Delta{AddEdges: []Edge{{From: u, To: v}}}
+		default: // reweight
+			id := ids[rng.IntN(len(ids))]
+			d = Delta{Profiles: map[string]perfmodel.Profile{id: flatProfile(id, 100+float64(rng.IntN(5000)))}}
+		}
+		if err := r.Patch(d); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if step%10 == 9 {
+			checkPatchAgainstRebuild(t, r)
+		}
+	}
+	checkPatchAgainstRebuild(t, r)
+}
+
+func hasEdge(g *dag.Graph, u, v string) bool {
+	for _, s := range g.Succ(u) {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}

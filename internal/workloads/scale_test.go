@@ -1,0 +1,131 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"aarc/internal/workflow"
+)
+
+func genBytes(t testing.TB, opts ScaleOptions) []byte {
+	t.Helper()
+	spec, err := Scale(opts)
+	if err != nil {
+		t.Fatalf("Scale(%+v): %v", opts, err)
+	}
+	b, err := workflow.CanonicalJSON(spec)
+	if err != nil {
+		t.Fatalf("CanonicalJSON: %v", err)
+	}
+	return b
+}
+
+// TestScaleDeterminism checks the generator's core contract at 100, 1k and
+// 10k nodes for every topology family: the same seed yields byte-identical
+// canonical specs across sequential runs and across a pool of concurrent
+// goroutines (the generator must not share hidden mutable state).
+func TestScaleDeterminism(t *testing.T) {
+	sizes := []int{100, 1000, 10000}
+	if testing.Short() {
+		sizes = []int{100, 1000}
+	}
+	for _, topo := range Topologies() {
+		for i, n := range sizes {
+			opts := ScaleOptions{
+				Topology:  topo,
+				Nodes:     n,
+				Seed:      uint64(1000 + i),
+				HeavyTail: i%2 == 1,
+			}
+			t.Run(fmt.Sprintf("%s-%d", topo, n), func(t *testing.T) {
+				t.Parallel()
+				ref := genBytes(t, opts)
+				if again := genBytes(t, opts); !bytes.Equal(ref, again) {
+					t.Fatal("sequential regeneration produced different canonical bytes")
+				}
+				var wg sync.WaitGroup
+				mismatch := make(chan int, 4)
+				for w := 0; w < 4; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						if !bytes.Equal(ref, genBytes(t, opts)) {
+							mismatch <- w
+						}
+					}(w)
+				}
+				wg.Wait()
+				close(mismatch)
+				for w := range mismatch {
+					t.Errorf("concurrent generation %d produced different canonical bytes", w)
+				}
+			})
+		}
+	}
+}
+
+// TestScaleFamilies pins structural properties of each family (Scale already
+// validates the DAG internally; this guards the shapes).
+func TestScaleFamilies(t *testing.T) {
+	const n = 200
+	for _, topo := range Topologies() {
+		spec, err := Scale(ScaleOptions{Topology: topo, Nodes: n, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		if spec.G.NumNodes() != n {
+			t.Errorf("%s: %d nodes, want %d", topo, spec.G.NumNodes(), n)
+		}
+		switch topo {
+		case TopologyChain:
+			if spec.G.NumEdges() != n-1 {
+				t.Errorf("chain: %d edges, want %d", spec.G.NumEdges(), n-1)
+			}
+		case TopologyFanout:
+			if spec.G.NumEdges() != 2*(n-2) {
+				t.Errorf("fanout: %d edges, want %d", spec.G.NumEdges(), 2*(n-2))
+			}
+			if got := len(spec.G.Succ(spec.G.Nodes()[0])); got != n-2 {
+				t.Errorf("fanout: source degree %d, want %d", got, n-2)
+			}
+		case TopologyDiamond, TopologyLayered, TopologyRandom:
+			if spec.G.NumEdges() < n-1 {
+				t.Errorf("%s: only %d edges for %d nodes", topo, spec.G.NumEdges(), n)
+			}
+		}
+	}
+	if _, err := Scale(ScaleOptions{Topology: "nope", Nodes: 10, Seed: 1}); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if _, err := Scale(ScaleOptions{Topology: TopologyChain, Nodes: 2, Seed: 1}); err == nil {
+		t.Error("2-node workflow accepted")
+	}
+}
+
+// TestScaleSmoke10k is the CI smoke for the 10k regime: generate, compile a
+// runner (full plan), and execute one noise-free evaluation end to end.
+func TestScaleSmoke10k(t *testing.T) {
+	spec, err := Scale(ScaleOptions{Topology: TopologyLayered, Nodes: 10_000, Seed: 42, HeavyTail: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := workflow.NewRunner(spec, workflow.RunnerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.MeanEvaluate(r.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OOM {
+		t.Fatalf("base configuration OOMs: %+v", res)
+	}
+	if len(res.Nodes) != 10_000 {
+		t.Fatalf("%d node results, want 10000", len(res.Nodes))
+	}
+	if res.E2EMS <= 0 || res.Cost <= 0 {
+		t.Fatalf("degenerate result: e2e=%v cost=%v", res.E2EMS, res.Cost)
+	}
+}
