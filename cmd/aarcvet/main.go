@@ -1,0 +1,86 @@
+// Command aarcvet is the project's vet suite: five analyzers that
+// machine-check the serving stack's cache, concurrency and determinism
+// invariants (DESIGN.md §13), plus a local shadow check. Run it
+// through cmd/go:
+//
+//	go build -o bin/aarcvet ./cmd/aarcvet
+//	go vet -vettool=$PWD/bin/aarcvet ./...
+//
+// run it directly on package patterns (it re-execs go vet):
+//
+//	bin/aarcvet ./...
+//
+// or regenerate the regversion manifest after bumping a method version:
+//
+//	bin/aarcvet -fix ./...
+//
+// The stock non-default analyzers worth bundling (nilness, shadow,
+// unusedwrite) live in golang.org/x/tools; this build environment is
+// offline, so shadow is re-implemented locally and the two SSA-based
+// ones are gated out — see internal/analysis's package comment.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"aarc/internal/analysis"
+	"aarc/internal/analysis/ctxflow"
+	"aarc/internal/analysis/detcanon"
+	"aarc/internal/analysis/lockscope"
+	"aarc/internal/analysis/regversion"
+	"aarc/internal/analysis/shadow"
+	"aarc/internal/analysis/tierorder"
+	"aarc/internal/analysis/unitchecker"
+)
+
+func suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		detcanon.Analyzer,
+		lockscope.Analyzer,
+		regversion.Analyzer,
+		shadow.Analyzer,
+		tierorder.Analyzer,
+	}
+}
+
+func main() {
+	// Standalone conveniences in front of the vet protocol: "-fix"
+	// regenerates the regversion manifest, and bare package patterns
+	// re-exec through go vet. A trailing .cfg argument (or the
+	// -flags/-V handshakes) means cmd/go is driving us.
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch {
+		case args[0] == "-fix" || args[0] == "--fix":
+			os.Exit(regversion.Fix(args[1:], os.Stdout, os.Stderr))
+		case !strings.HasPrefix(args[0], "-") && !strings.HasSuffix(args[len(args)-1], ".cfg"):
+			os.Exit(execGoVet(args))
+		}
+	}
+	unitchecker.Main(suite()...)
+}
+
+// execGoVet reruns the named package patterns through go vet with this
+// binary as the vettool, so `aarcvet ./...` works as a command.
+func execGoVet(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}

@@ -81,6 +81,15 @@
 // and bootstrap from the GET /v1/recommendations listing. See DESIGN.md
 // section 11.
 //
+// The invariants all of the above rests on — fingerprints that are pure
+// functions of content, contexts threaded through the request path, no
+// store I/O or searches under a mutex, the canonical store-wrapper
+// order, method versions that move with their code — are machine-checked
+// by cmd/aarcvet, a project-specific go/analysis suite run through
+// `go vet -vettool` (scripts/lint.sh, and CI, fail on any finding);
+// deliberate exceptions are waived in-source by reasoned //aarc:
+// markers. See DESIGN.md section 13.
+//
 // Start with the examples, which use only this public API:
 //
 //	go run ./examples/quickstart

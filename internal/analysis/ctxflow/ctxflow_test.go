@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"aarc/internal/analysis/analysistest"
+	"aarc/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "../testdata", ctxflow.Analyzer,
+		"ctxflow/service", // request path: detachment + entry-point rules
+		"ctxflow/harness", // off the request path: root contexts are fine
+	)
+}

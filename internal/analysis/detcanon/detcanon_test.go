@@ -1,0 +1,12 @@
+package detcanon_test
+
+import (
+	"testing"
+
+	"aarc/internal/analysis/analysistest"
+	"aarc/internal/analysis/detcanon"
+)
+
+func TestDetcanon(t *testing.T) {
+	analysistest.Run(t, "../testdata", detcanon.Analyzer, "detcanon/fp")
+}

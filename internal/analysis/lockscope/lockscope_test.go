@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"aarc/internal/analysis/analysistest"
+	"aarc/internal/analysis/lockscope"
+)
+
+func TestLockscope(t *testing.T) {
+	analysistest.Run(t, "../testdata", lockscope.Analyzer, "lockscope/svc")
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Marker is one //aarc:<name> <argument> comment. Markers are the
+// suite's waiver/annotation vocabulary:
+//
+//	//aarc:detached <reason>  — blessed context detachment site (ctxflow)
+//	//aarc:sorted <reason>    — map/Keys iteration proven order-safe (detcanon)
+//	//aarc:locked <reason>    — call under a mutex that owns the callee (lockscope)
+//	//aarc:errpath <reason>   — deliberate store write on an error path (tierorder)
+//	//aarc:canonical          — extra root for the determinism call graph (detcanon)
+//
+// A marker waives the diagnostic on its own line or the line directly
+// below, so both end-of-line and line-above placement work. Every
+// waiver marker requires a non-empty reason: the argument is the
+// reviewable justification, and an empty one is itself a finding.
+type Marker struct {
+	Name string
+	Arg  string
+	Line int
+	File string
+}
+
+// MarkerIndex holds every //aarc: marker in a package, keyed by
+// file:line for position lookups.
+type MarkerIndex struct {
+	byLine map[string][]Marker
+}
+
+const markerPrefix = "//aarc:"
+
+// IndexMarkers scans the files' comments for //aarc: markers. Files
+// must have been parsed with parser.ParseComments.
+func IndexMarkers(fset *token.FileSet, files []*ast.File) *MarkerIndex {
+	idx := &MarkerIndex{byLine: make(map[string][]Marker)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, markerPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, markerPrefix)
+				name, arg, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				m := Marker{
+					Name: name,
+					Arg:  strings.TrimSpace(arg),
+					Line: pos.Line,
+					File: pos.Filename,
+				}
+				key := markerKey(pos.Filename, pos.Line)
+				idx.byLine[key] = append(idx.byLine[key], m)
+			}
+		}
+	}
+	return idx
+}
+
+func markerKey(file string, line int) string {
+	// line numbers are small; this beats a struct key for map reuse.
+	return file + "\x00" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// At returns the named marker covering pos: on the same line as pos or
+// on the line directly above it.
+func (idx *MarkerIndex) At(fset *token.FileSet, pos token.Pos, name string) (Marker, bool) {
+	p := fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, m := range idx.byLine[markerKey(p.Filename, line)] {
+			if m.Name == name {
+				return m, true
+			}
+		}
+	}
+	return Marker{}, false
+}

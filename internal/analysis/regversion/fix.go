@@ -1,0 +1,218 @@
+package regversion
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+)
+
+// Fix implements `aarcvet -fix [packages]`: it scans the named
+// packages (default ./...) for search.Register calls, recomputes each
+// method package's source hash, and rewrites the version.lock
+// manifest. A package whose source changed while its version literal
+// did not is refused — the whole point of the pin is that code changes
+// force a visible version bump — so the workflow on a vet failure is:
+// bump the literal in search.Register, then run -fix.
+//
+// Fix works syntactically (go/parser only): it runs offline, before
+// the tree necessarily compiles, and a Register version is required to
+// be a literal or a package-local integer constant anyway (the
+// analyzer enforces constness on the type-checked tree).
+func Fix(args []string, stdout, stderr io.Writer) int {
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := listPackages(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "aarcvet -fix: %v\n", err)
+		return 1
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(stderr, "aarcvet -fix: no packages match %v\n", patterns)
+		return 1
+	}
+
+	moduleRoot := pkgs[0].Root
+	path := filepath.Join(moduleRoot, ManifestRel)
+	old := Manifest{}
+	if fileExists(path) {
+		if old, err = ReadManifest(path); err != nil {
+			fmt.Fprintf(stderr, "aarcvet -fix: %v\n", err)
+			return 1
+		}
+	}
+
+	next := Manifest{}
+	refused := false
+	for _, p := range pkgs {
+		methods, err := scanRegistrations(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "aarcvet -fix: %s: %v\n", p.ImportPath, err)
+			return 1
+		}
+		if len(methods) == 0 {
+			continue
+		}
+		var files []string
+		for _, f := range p.GoFiles {
+			files = append(files, filepath.Join(p.Dir, f))
+		}
+		hash, err := HashPackage(files)
+		if err != nil {
+			fmt.Fprintf(stderr, "aarcvet -fix: %s: %v\n", p.ImportPath, err)
+			return 1
+		}
+		for method, version := range methods {
+			if prev, ok := old[method]; ok && prev.Hash != hash && prev.Version == version {
+				fmt.Fprintf(stderr, "aarcvet -fix: refusing to re-pin %q: %s changed but still registers version %d; bump the version literal first\n",
+					method, p.ImportPath, version)
+				refused = true
+				continue
+			}
+			next[method] = Entry{Version: version, Hash: hash}
+		}
+	}
+	if refused {
+		return 1
+	}
+	if err := WriteManifest(path, next); err != nil {
+		fmt.Fprintf(stderr, "aarcvet -fix: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "aarcvet -fix: wrote %s (%d methods)\n", path, len(next))
+	return 0
+}
+
+// listPackage is the slice of `go list -json` output Fix needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Root       string
+	Module     *struct{ Dir string }
+	GoFiles    []string
+}
+
+func listPackages(patterns []string) ([]listPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, patterns...)...)
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, fmt.Errorf("go list: %v: %s", err, ee.Stderr)
+		}
+		return nil, err
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Module != nil && p.Module.Dir != "" {
+			p.Root = p.Module.Dir
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// scanRegistrations finds search.Register("name", <version>, ...)
+// calls in a package syntactically, resolving identifier versions
+// against package-local integer constants.
+func scanRegistrations(p listPackage) (map[string]int, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	consts := map[string]int{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						continue
+					}
+					if v, ok := intLit(vs.Values[i]); ok {
+						consts[name.Name] = v
+					}
+				}
+			}
+		}
+	}
+
+	methods := map[string]int{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			if !isRegisterCallee(call.Fun, f.Name.Name) {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if v, ok := intLit(call.Args[1]); ok {
+				methods[name] = v
+			} else if id, ok := ast.Unparen(call.Args[1]).(*ast.Ident); ok {
+				if v, ok := consts[id.Name]; ok {
+					methods[name] = v
+				}
+			}
+			return true
+		})
+	}
+	return methods, nil
+}
+
+func isRegisterCallee(fun ast.Expr, pkgName string) bool {
+	switch fun := ast.Unparen(fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "Register"
+	case *ast.Ident:
+		return fun.Name == "Register" && pkgName == "search"
+	}
+	return false
+}
+
+func intLit(e ast.Expr) (int, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	v, err := strconv.Atoi(lit.Value)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

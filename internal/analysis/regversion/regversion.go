@@ -1,0 +1,111 @@
+// Package regversion checks that search.Register version literals move
+// when method code moves. A method's version is part of every cached
+// recommendation's fingerprint (PR 4): bumping it orphans stale
+// entries, and *not* bumping it after a behavior change silently serves
+// wrong answers from cache — the worst failure mode the serving stack
+// has, because nothing errors. The check pins each registered method in
+// internal/search/version.lock as (version, source hash); vetting a
+// method package recomputes the hash and fails if the package changed
+// without the version literal changing with it. `aarcvet -fix`
+// regenerates the manifest, and refuses to re-pin a changed package
+// whose version literal was not bumped.
+package regversion
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"aarc/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "regversion",
+	Doc:  "flag search.Register version literals that are stale relative to version.lock",
+	Run:  run,
+}
+
+// registerCall is one search.Register(name, version, factory) site.
+type registerCall struct {
+	call    *ast.CallExpr
+	method  string
+	version int
+	constOK bool
+}
+
+// registerCalls extracts every search.Register call in the package.
+func registerCalls(pass *analysis.Pass) []registerCall {
+	var out []registerCall
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.FuncOf(pass.TypesInfo, call)
+			if fn == nil || fn.Name() != "Register" || fn.Pkg() == nil || fn.Pkg().Name() != "search" {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			rc := registerCall{call: call}
+			if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				rc.method = constant.StringVal(tv.Value)
+			}
+			if tv, ok := pass.TypesInfo.Types[call.Args[1]]; ok && tv.Value != nil {
+				if v, exact := constant.Int64Val(tv.Value); exact {
+					rc.version = int(v)
+					rc.constOK = true
+				}
+			}
+			out = append(out, rc)
+			return true
+		})
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) error {
+	calls := registerCalls(pass)
+	if len(calls) == 0 {
+		return nil
+	}
+
+	files := make([]string, 0, len(pass.Files))
+	for _, f := range pass.Files {
+		files = append(files, pass.Fset.Position(f.Package).Filename)
+	}
+	hash, err := HashPackage(files)
+	if err != nil {
+		return err
+	}
+
+	path := ManifestPath(pass.Dir, pass.ModuleRoot)
+	var manifest Manifest
+	if path != "" && fileExists(path) {
+		manifest, err = ReadManifest(path)
+		if err != nil {
+			return err
+		}
+	}
+
+	for _, rc := range calls {
+		if rc.method == "" || !rc.constOK {
+			pass.Reportf(rc.call.Pos(), "search.Register needs constant name and version arguments for version pinning")
+			continue
+		}
+		entry, pinned := manifest[rc.method]
+		switch {
+		case !pinned:
+			pass.Reportf(rc.call.Pos(), "method %q has no pin in version.lock; run `aarcvet -fix ./...` to record it", rc.method)
+		case entry.Version != rc.version:
+			pass.Reportf(rc.call.Pos(), "method %q registers version %d but version.lock pins %d; bump the literal and run `aarcvet -fix ./...`", rc.method, rc.version, entry.Version)
+		case entry.Hash != hash:
+			pass.Reportf(rc.call.Pos(), "method %q package source changed since version.lock was recorded but still registers version %d; bump the version so stale cached recommendations self-invalidate, then run `aarcvet -fix ./...`", rc.method, rc.version)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package regversion_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"aarc/internal/analysis/analysistest"
+	"aarc/internal/analysis/regversion"
+)
+
+func TestRegversion(t *testing.T) {
+	pinFixture(t, "../testdata/src/regversion/pinned", "pinned")
+	analysistest.Run(t, "../testdata", regversion.Analyzer,
+		"regversion/unpinned", // no manifest in scope
+		"regversion/mismatch", // manifest pins a different version
+		"regversion/stale",    // version matches, source hash drifted
+		"regversion/pinned",   // fully in sync: silent
+	)
+}
+
+// pinFixture regenerates the negative fixture's version.lock from its
+// current source hash, so the "in sync" case stays in sync no matter
+// how the fixture is edited.
+func pinFixture(t *testing.T, dir, method string) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("globbing %s: files=%v err=%v", dir, files, err)
+	}
+	hash, err := regversion.HashPackage(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regversion.Manifest{method: {Version: 1, Hash: hash}}
+	if err := regversion.WriteManifest(filepath.Join(dir, "version.lock"), m); err != nil {
+		t.Fatal(err)
+	}
+}

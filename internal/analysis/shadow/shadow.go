@@ -1,0 +1,139 @@
+// Package shadow is a local reimplementation of the stock (non-default)
+// vet shadow analyzer: it flags declarations that shadow a same-typed
+// variable from an enclosing function scope when the outer variable is
+// still used after the inner scope closes — the pattern where a write
+// to the inner variable was almost certainly meant for the outer one.
+//
+// The x/tools original is unavailable offline (see internal/analysis's
+// package comment), so this follows the same shape: build a use-span
+// for every variable, then report an inner declaration only when the
+// shadowed variable's span extends past the shadowing scope's end.
+// Idiomatic short-lived shadows (`if err := f(); err != nil {...}`
+// with no later use of the outer err) are deliberately not reported.
+// The SSA-based stock analyzers (nilness, unusedwrite) have no
+// stdlib-only equivalent and are gated out of the suite entirely.
+package shadow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"aarc/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "flag shadowed variables whose outer binding is used after the shadow's scope",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// span[obj] = furthest position at which obj is referenced.
+	span := make(map[types.Object]token.Pos)
+	grow := func(id *ast.Ident, obj types.Object) {
+		if obj == nil {
+			return
+		}
+		if end := id.End(); end > span[obj] {
+			span[obj] = end
+		}
+	}
+	for id, obj := range pass.TypesInfo.Uses {
+		grow(id, obj)
+	}
+	for id, obj := range pass.TypesInfo.Defs {
+		grow(id, obj)
+	}
+
+	// Like the x/tools original, only short variable declarations and
+	// var statements are shadow candidates — never parameters, named
+	// results, or range variables, whose same-name nesting is idiom
+	// (func(b *testing.B) inside b.Run, nested loop indices).
+	candidates := make(map[*ast.Ident]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							candidates[id] = true
+						}
+					}
+				}
+			case *ast.GenDecl:
+				if n.Tok == token.VAR {
+					for _, spec := range n.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							for _, id := range vs.Names {
+								candidates[id] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for id, obj := range pass.TypesInfo.Defs {
+		if !candidates[id] {
+			continue
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || id.Name == "_" || id.Name == "err" {
+			// err shadows are pervasive Go idiom; vet's original keeps
+			// them too, but this tree treats wrapped-error locals as
+			// style, not a bug signal.
+			continue
+		}
+		inner := v.Parent()
+		if inner == nil || inner == pass.Pkg.Scope() {
+			continue
+		}
+		// Look outward, stopping before file/package scope: only
+		// function-local shadowing is interesting.
+		_, shadowed := lookupParent(inner, id.Name, id.Pos())
+		outer, ok := shadowed.(*types.Var)
+		if !ok || outer.IsField() {
+			continue
+		}
+		if outer.Parent() == nil || isFileOrPackageScope(pass, outer.Parent()) {
+			continue
+		}
+		if !types.Identical(outer.Type(), v.Type()) {
+			continue
+		}
+		// Report only when the outer variable is referenced after the
+		// inner scope ends — i.e. the shadow can actually have masked
+		// a write the later code observes.
+		if span[outer] > inner.End() {
+			pass.Reportf(id.Pos(), "declaration of %q shadows declaration at %s; the outer variable is used after this scope",
+				id.Name, pass.Fset.Position(outer.Pos()))
+		}
+	}
+	return nil
+}
+
+// lookupParent finds what the identifier would bind to in the scope
+// chain above its own declaration scope.
+func lookupParent(inner *types.Scope, name string, pos token.Pos) (*types.Scope, types.Object) {
+	parent := inner.Parent()
+	if parent == nil {
+		return nil, nil
+	}
+	return parent.LookupParent(name, pos)
+}
+
+func isFileOrPackageScope(pass *analysis.Pass, s *types.Scope) bool {
+	if s == pass.Pkg.Scope() || s == types.Universe {
+		return true
+	}
+	for _, f := range pass.Files {
+		if pass.TypesInfo.Scopes[f] == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package shadow_test
+
+import (
+	"testing"
+
+	"aarc/internal/analysis/analysistest"
+	"aarc/internal/analysis/shadow"
+)
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, "../testdata", shadow.Analyzer, "shadow/sh")
+}

@@ -1,0 +1,11 @@
+// Fixture for ctxflow: "harness" is not a request-path package, so
+// minting root contexts here is fine — only WithoutCancel (not used
+// here) is policed tree-wide.
+package harness
+
+import "context"
+
+// Run is the experiment-harness idiom: it owns its own root context.
+func Run() context.Context {
+	return context.Background() // ok: not a request-path package
+}

@@ -1,0 +1,57 @@
+// Fixture for ctxflow: the import path ends in "service", so this is a
+// request-path package and both rules apply — no unmarked context
+// detachment, and exported entry points that drive context-accepting
+// machinery must take a context themselves.
+package service
+
+import "context"
+
+type engine struct{}
+
+func (engine) search(ctx context.Context, q string) string {
+	_ = ctx
+	return q
+}
+
+// Service mimics the real serving facade.
+type Service struct{ eng engine }
+
+// Search drives the context-accepting engine but offers callers no way
+// to cancel: the entry-point violation.
+func (s *Service) Search(q string) string { // want `exported Search drives context-accepting search/store/evaluate machinery but accepts no context\.Context`
+	return s.eng.search(context.Background(), q) // want `context\.Background\(\) mints a root context on the request path`
+}
+
+// Configure threads the caller's context end to end: compliant.
+func (s *Service) Configure(ctx context.Context, q string) string {
+	return s.eng.search(ctx, q)
+}
+
+// Dispatch is a pure table lookup — nothing it calls accepts a
+// context, so requiring one would be noise.
+func (s *Service) Dispatch(q string) string {
+	return q
+}
+
+func (s *Service) refresh(ctx context.Context, q string) {
+	bg := context.WithoutCancel(ctx) // want `context\.WithoutCancel detaches from the caller's cancellation`
+	s.eng.search(bg, q)
+}
+
+func (s *Service) refreshMarked(ctx context.Context, q string) {
+	bg := context.WithoutCancel(ctx) //aarc:detached shared cache entry must not die with one client
+	s.eng.search(bg, q)
+}
+
+func (s *Service) refreshNoReason(ctx context.Context, q string) {
+	bg := context.WithoutCancel(ctx) /* want `aarc:detached marker needs a reason` */ //aarc:detached
+	_ = bg
+}
+
+func todoCtx() context.Context {
+	return context.TODO() // want `context\.TODO\(\) mints a root context on the request path`
+}
+
+func lifecycleRoot() context.Context {
+	return context.Background() //aarc:detached lifecycle root; Close cancels it
+}

@@ -1,0 +1,14 @@
+// Fixture dependency for lockscope: a fake of the project's event bus.
+package event
+
+// Event is a published lifecycle event.
+type Event struct{ Kind, Fingerprint string }
+
+// Bus fans events out to subscribers; Publish can block on slow paths,
+// which is exactly why it must not run under a mutex.
+type Bus struct{}
+
+// Publish emits one event.
+func (*Bus) Publish(kind, fingerprint string) Event {
+	return Event{Kind: kind, Fingerprint: fingerprint}
+}

@@ -1,0 +1,12 @@
+// Fixture dependency for lockscope: a fake of the project's store
+// package. lockscope matches store I/O by method name + receiver
+// package *name*, so only the package clause matters.
+package store
+
+// Store mirrors the real Store surface lockscope targets.
+type Store interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, body []byte) error
+	Delete(key string) error
+	Keys() []string
+}

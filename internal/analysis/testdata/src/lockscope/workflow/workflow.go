@@ -1,0 +1,12 @@
+// Fixture dependency for lockscope: a fake of the project's workflow
+// evaluation surface.
+package workflow
+
+// Runner evaluates a workflow under a resource assignment.
+type Runner struct{}
+
+// Evaluate runs one evaluation.
+func (*Runner) Evaluate(args []float64) float64 { return 0 }
+
+// MeanEvaluate averages repeated evaluations.
+func (*Runner) MeanEvaluate(args []float64) float64 { return 0 }

@@ -1,0 +1,11 @@
+// Fixture for regversion: the package-local version.lock pins this
+// method at version 2, but the literal still says 1.
+package mismatch
+
+import "regversion/search"
+
+const Version = 1
+
+func init() {
+	search.Register("mismatch", Version, nil) // want `method "mismatch" registers version 1 but version\.lock pins 2`
+}

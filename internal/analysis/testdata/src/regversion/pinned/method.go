@@ -1,0 +1,12 @@
+// Fixture for regversion's negative case: the test regenerates this
+// package's version.lock from the current source hash before running
+// the analyzer, so the pin always matches and no diagnostics fire.
+package pinned
+
+import "regversion/search"
+
+const Version = 1
+
+func init() {
+	search.Register("pinned", Version, nil)
+}

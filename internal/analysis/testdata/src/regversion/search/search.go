@@ -1,0 +1,8 @@
+// Fixture dependency for regversion: a fake of the project's search
+// registry. regversion matches Register by function name + defining
+// package *name*, so only the package clause matters.
+package search
+
+// Register records a search method implementation under a versioned
+// name.
+func Register(name string, version int, factory func() any) {}

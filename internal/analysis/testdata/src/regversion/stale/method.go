@@ -1,0 +1,12 @@
+// Fixture for regversion: the pinned version matches, but the recorded
+// source hash does not — the package changed without a version bump,
+// the silent-wrong-answers failure mode.
+package stale
+
+import "regversion/search"
+
+const Version = 1
+
+func init() {
+	search.Register("stale", Version, nil) // want `method "stale" package source changed since version\.lock was recorded`
+}

@@ -1,0 +1,17 @@
+// Fixture for regversion: a registered method with no version.lock in
+// scope has no pin, and dynamic Register arguments defeat pinning
+// entirely.
+package unpinned
+
+import "regversion/search"
+
+// Version moves when this method's behavior moves.
+const Version = 1
+
+func init() {
+	search.Register("unpinned", Version, nil) // want `method "unpinned" has no pin in version\.lock`
+}
+
+func registerDynamic(name string, v int) {
+	search.Register(name, v, nil) // want `search\.Register needs constant name and version arguments`
+}

@@ -1,0 +1,56 @@
+// Fixture for shadow: report a := / var declaration that shadows a
+// same-typed function-scope variable which is still used after the
+// inner scope ends. Params, range variables, differently-typed
+// shadows, "err", and dead-after-scope outers stay silent.
+package sh
+
+func source() error { return nil }
+
+func reportedShadow() int {
+	x := 1
+	{
+		x := 2 // want `declaration of "x" shadows declaration at`
+		_ = x
+	}
+	return x
+}
+
+func outerDeadAfterScope() {
+	y := 1
+	_ = y
+	{
+		y := 2 // ok: outer y is never used after this scope
+		_ = y
+	}
+}
+
+func errIdiom() error {
+	err := source()
+	if err := source(); err != nil { // ok: err shadows are idiom
+		return err
+	}
+	return err
+}
+
+func paramShadow(n int) int {
+	f := func(n int) int { return n } // ok: parameters are never candidates
+	return f(n)
+}
+
+func differentType() string {
+	v := "s"
+	{
+		v := 1 // ok: different type, so a mixed-up write cannot typecheck
+		_ = v
+	}
+	return v
+}
+
+func varStmtShadow() int {
+	n := 1
+	{
+		var n = 2 // want `declaration of "n" shadows declaration at`
+		_ = n
+	}
+	return n
+}

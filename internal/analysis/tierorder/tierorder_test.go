@@ -1,0 +1,12 @@
+package tierorder_test
+
+import (
+	"testing"
+
+	"aarc/internal/analysis/analysistest"
+	"aarc/internal/analysis/tierorder"
+)
+
+func TestTierorder(t *testing.T) {
+	analysistest.Run(t, "../testdata", tierorder.Analyzer, "tierorder/app")
+}

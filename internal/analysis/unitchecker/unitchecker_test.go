@@ -1,0 +1,89 @@
+package unitchecker_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolProtocol is the end-to-end check of the whole stack: build
+// the real aarcvet binary, point `go vet -vettool` at a throwaway
+// module seeded with a detcanon violation, and require the diagnostic
+// to surface through cmd/go with a non-zero exit. This is the same
+// path scripts/lint.sh and CI use.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to cmd/go")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+
+	moduleRoot, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tmp := t.TempDir()
+	vettool := filepath.Join(tmp, "aarcvet")
+	build := exec.Command(goTool, "build", "-o", vettool, "aarc/cmd/aarcvet")
+	build.Dir = moduleRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building aarcvet: %v\n%s", err, out)
+	}
+
+	// A one-package module whose Fingerprint stamps wall-clock time —
+	// the seeded violation detcanon exists to catch.
+	mod := filepath.Join(tmp, "mod")
+	if err := os.MkdirAll(mod, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(mod, "go.mod"), "module vetprobe\n\ngo 1.21\n")
+	writeFile(t, filepath.Join(mod, "fingerprint.go"), `package vetprobe
+
+import (
+	"fmt"
+	"time"
+)
+
+func Fingerprint(body []byte) string {
+	return fmt.Sprintf("%d-%x", time.Now().UnixNano(), body)
+}
+`)
+
+	vet := exec.Command(goTool, "vet", "-vettool="+vettool, "./...")
+	vet.Dir = mod
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet exited 0 on a seeded time.Now violation; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "time.Now in canonicalization path Fingerprint") {
+		t.Fatalf("diagnostic did not surface through the vet protocol; output:\n%s", out)
+	}
+
+	// Fix the violation and the same invocation must go green: the
+	// non-zero exit above was the finding, not protocol breakage.
+	writeFile(t, filepath.Join(mod, "fingerprint.go"), `package vetprobe
+
+import "fmt"
+
+func Fingerprint(body []byte) string {
+	return fmt.Sprintf("%x", body)
+}
+`)
+	vet = exec.Command(goTool, "vet", "-vettool="+vettool, "./...")
+	vet.Dir = mod
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"aarc/internal/testutil"
 )
 
 // fakeProber serves scripted latencies per fingerprint; safe for
@@ -219,6 +221,7 @@ func TestFullQueueDropsWithCounter(t *testing.T) {
 }
 
 func TestRunSweepsOnTicker(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	p := newFakeProber("fp")
 	p.set("fp", []float64{950}, 1000)
 	m := New(p, Config{Interval: 2 * time.Millisecond})

@@ -102,8 +102,8 @@ func TestReplayFiltersTopicAndCursor(t *testing.T) {
 	if len(got) != 2 || got[0].Seq != 3 || got[1].Seq != 4 {
 		t.Fatalf("Replay(a, 1) = %+v", got)
 	}
-	if got := b.Replay("", 0); len(got) != 4 {
-		t.Fatalf("Replay(all, 0) returned %d events, want 4", len(got))
+	if all := b.Replay("", 0); len(all) != 4 {
+		t.Fatalf("Replay(all, 0) returned %d events, want 4", len(all))
 	}
 
 	// The ring holds only the last 4: a 5th publish evicts seq 1.

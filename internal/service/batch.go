@@ -279,5 +279,5 @@ func (c *coalescer) drain() {
 	// Searches already run detached from request contexts (searchMiss
 	// detaches via context.WithoutCancel); the timer goroutine has no
 	// request context to pass in the first place.
-	c.s.runPending(context.Background(), runs)
+	c.s.runPending(context.Background(), runs) //aarc:detached coalescer timer owns no request context; parked flights carry the waiters
 }

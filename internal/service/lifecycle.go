@@ -155,7 +155,13 @@ func (s *Service) Recommendations() []RecommendationInfo {
 // shard-lock amortization the Evaluate/Validate hot path uses.
 type lifecycleProber struct{ s *Service }
 
-func (p lifecycleProber) Fingerprints() []string { return p.s.st.Keys() }
+// Keys() order is unspecified; sorted so every sweep probes entries in
+// the same order and a bounded stale queue fills deterministically.
+func (p lifecycleProber) Fingerprints() []string {
+	keys := p.s.st.Keys()
+	sort.Strings(keys)
+	return keys
+}
 
 func (p lifecycleProber) Probe(fp string, runs int) ([]float64, float64, error) {
 	e, err := p.s.entryFor(fp)

@@ -60,7 +60,7 @@ func (p *runnerPool) evaluate(a resources.Assignment) (search.Result, error) {
 	sh.mu.Lock()
 	p.locks.Add(1)
 	defer sh.mu.Unlock()
-	return sh.r.Evaluate(a)
+	return sh.r.Evaluate(a) //aarc:locked the shard mutex owns this Runner; locking it is what makes Evaluate safe (DESIGN.md §3)
 }
 
 // evaluateChunk bounds how long evaluateN holds one shard's lock: up to
@@ -90,7 +90,7 @@ func (p *runnerPool) evaluateN(a resources.Assignment, n int) ([]search.Result, 
 		sh.mu.Lock()
 		p.locks.Add(1)
 		for i := 0; i < m; i++ {
-			res, err := sh.r.Evaluate(a)
+			res, err := sh.r.Evaluate(a) //aarc:locked the shard mutex owns this Runner; chunked so waiters stall one chunk at most
 			if err != nil {
 				sh.mu.Unlock()
 				return out, err

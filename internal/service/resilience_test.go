@@ -235,15 +235,16 @@ func TestOpenBreakerServesMemoryOnly(t *testing.T) {
 // claim and the admission slot — proved by a follow-up Configure on the
 // same fingerprint succeeding with MaxConcurrentSearches=1.
 func TestSearchTimeoutReleasesFlightAndSlot(t *testing.T) {
-	wedgeCalls.Store(0)
-	wedgeStarted = make(chan struct{}, 1)
-	wedgeForever = make(chan struct{})
-	t.Cleanup(func() { close(wedgeForever) })
-
 	svc := stubService(t, Config{
 		SearchTimeout:         100 * time.Millisecond,
 		MaxConcurrentSearches: 1,
 	})
+	wedgeCalls.Store(0)
+	wedgeStarted = make(chan struct{}, 1)
+	wedgeForever = make(chan struct{})
+	// Registered after stubService so LIFO cleanup releases the wedged
+	// searcher goroutine before the leak check armed in there fires.
+	t.Cleanup(func() { close(wedgeForever) })
 	ro := RequestOptions{Method: "wedged"}
 	spec := testSpec(t, 0)
 

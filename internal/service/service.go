@@ -389,7 +389,9 @@ func New(cfg Config) (*Service, error) {
 		s.coal = &coalescer{s: s, window: cfg.BatchWindow}
 	}
 	if cfg.DriftInterval > 0 {
-		ctx, cancel := context.WithCancel(context.Background())
+		// The lifecycle context is the service's own root: drift sweeps
+		// and refresh workers live until Close, not until any request.
+		ctx, cancel := context.WithCancel(context.Background()) //aarc:detached lifecycle root; Close cancels it
 		s.lifecycleCancel = cancel
 		s.monitor = drift.New(lifecycleProber{s}, drift.Config{
 			Interval:  cfg.DriftInterval,
@@ -839,7 +841,7 @@ func (s *Service) searchMiss(ctx context.Context, fp string, spec *workflow.Spec
 	// Detach from the client's context here — not in runSearch — so the
 	// background refresher can pass its own cancellable lifecycle context
 	// to the same search machinery.
-	e, se, err := s.runSearch(context.WithoutCancel(ctx), fp, spec, r)
+	e, se, err := s.runSearch(context.WithoutCancel(ctx), fp, spec, r) //aarc:detached shared cache entry must not be poisoned by one client's disconnect
 	if err != nil {
 		return nil, err
 	}
@@ -1117,16 +1119,16 @@ func (s *Service) Dispatch(ctx context.Context, spec *workflow.Spec, classes []i
 		s.misses.Add(1)
 		v, err, _ = s.flight.do(ctx, fp, func() (any, error) {
 			s.mu.Lock()
-			v, ok := s.engines.get(fp)
+			cached, ok := s.engines.get(fp)
 			s.mu.Unlock()
 			if ok {
-				return v, nil
+				return cached, nil
 			}
 			searcher, err := search.New(r.method, r.seed)
 			if err != nil {
 				return nil, err
 			}
-			engine, err := inputaware.Configure(context.WithoutCancel(ctx), spec, r.ropts, searcher, r.sopts, sorted)
+			engine, err := inputaware.Configure(context.WithoutCancel(ctx), spec, r.ropts, searcher, r.sopts, sorted) //aarc:detached engines are shared across requests like cache entries
 			if err != nil {
 				return nil, err
 			}

@@ -14,6 +14,7 @@ import (
 	"aarc/internal/resources"
 	"aarc/internal/search"
 	"aarc/internal/store"
+	"aarc/internal/testutil"
 	"aarc/internal/workflow"
 	"aarc/internal/workloads"
 
@@ -99,6 +100,11 @@ func testSpec(t testing.TB, variant int) *workflow.Spec {
 
 func stubService(t testing.TB, cfg Config) *Service {
 	t.Helper()
+	// Armed before New so the snapshot excludes the service's own
+	// goroutines; cleanups run LIFO, so Close below completes before the
+	// leak check fires. This covers every stubService-based test —
+	// service, batch, resilience, lifecycle, and watch.
+	testutil.VerifyNoLeaks(t)
 	cfg.Method = "stub"
 	svc, err := New(cfg)
 	if err != nil {

@@ -50,8 +50,8 @@ func (g *flightGroup) claim(key string) (c *flightCall, leader bool) {
 	if g.m == nil {
 		g.m = make(map[string]*flightCall)
 	}
-	if c, ok := g.m[key]; ok {
-		return c, false
+	if existing, ok := g.m[key]; ok {
+		return existing, false
 	}
 	c = &flightCall{done: make(chan struct{})}
 	g.m[key] = c

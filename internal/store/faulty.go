@@ -189,7 +189,7 @@ func (f *Faulty) Get(key string) (Entry, bool, error) {
 func (f *Faulty) Put(key string, e Entry) error {
 	if err := f.fault(opPut, key, f.cfg.PutFailProb); err != nil {
 		if f.cfg.TornWrites {
-			_ = f.inner.Put(key, Entry{Body: e.Body[:len(e.Body)/2], Meta: e.Meta[:len(e.Meta)/2]})
+			_ = f.inner.Put(key, Entry{Body: e.Body[:len(e.Body)/2], Meta: e.Meta[:len(e.Meta)/2]}) //aarc:errpath chaos injector: torn writes simulate the crash the checksums must catch
 		}
 		return err
 	}

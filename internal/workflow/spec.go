@@ -110,7 +110,16 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("workflow %s: group %q base config %v invalid or outside limits", s.Name, g, cfg)
 		}
 	}
-	for node, g := range s.Groups {
+	// Sorted so an invalid spec reports the same violation every run:
+	// Validate guards CanonicalJSON, and a map-order-dependent error
+	// would make even failures nondeterministic (aarcvet detcanon).
+	nodes := make([]string, 0, len(s.Groups))
+	for node := range s.Groups {
+		nodes = append(nodes, node)
+	}
+	sort.Strings(nodes)
+	for _, node := range nodes {
+		g := s.Groups[node]
 		if !s.G.HasNode(node) {
 			return fmt.Errorf("workflow %s: group mapping for unknown node %q", s.Name, node)
 		}
