@@ -1,6 +1,6 @@
-// Command aarcvet is the project's vet suite: five analyzers that
+// Command aarcvet is the project's vet suite: ten analyzers that
 // machine-check the serving stack's cache, concurrency and determinism
-// invariants (DESIGN.md §13), plus a local shadow check. Run it
+// invariants (DESIGN.md §13–§14), plus a local shadow check. Run it
 // through cmd/go:
 //
 //	go build -o bin/aarcvet ./cmd/aarcvet
@@ -14,10 +14,17 @@
 //
 //	bin/aarcvet -fix ./...
 //
-// The stock non-default analyzers worth bundling (nilness, shadow,
-// unusedwrite) live in golang.org/x/tools; this build environment is
-// offline, so shadow is re-implemented locally and the two SSA-based
-// ones are gated out — see internal/analysis's package comment.
+// Six of the analyzers are purely syntactic/type-based (ctxflow,
+// detcanon, lockscope, regversion, shadow, tierorder). The other four
+// — lockorder, nilness, goleak, hotalloc — are built on
+// internal/analysis/flow, a stdlib-only CFG/dataflow layer that stands
+// in for the golang.org/x/tools SSA packages this offline build cannot
+// import. lockorder and hotalloc are interprocedural: they export
+// per-package facts through the vet .cfg/vetx protocol, so a lock
+// acquired in internal/store and another in internal/service can still
+// form a reported cycle, and an allocation three calls deep still
+// taints a //aarc:hotpath root. DESIGN.md §14 documents the IR, the
+// canonical lock order the suite enforces, and the hot-path contract.
 package main
 
 import (
@@ -29,7 +36,11 @@ import (
 	"aarc/internal/analysis"
 	"aarc/internal/analysis/ctxflow"
 	"aarc/internal/analysis/detcanon"
+	"aarc/internal/analysis/goleak"
+	"aarc/internal/analysis/hotalloc"
+	"aarc/internal/analysis/lockorder"
 	"aarc/internal/analysis/lockscope"
+	"aarc/internal/analysis/nilness"
 	"aarc/internal/analysis/regversion"
 	"aarc/internal/analysis/shadow"
 	"aarc/internal/analysis/tierorder"
@@ -40,7 +51,11 @@ func suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxflow.Analyzer,
 		detcanon.Analyzer,
+		goleak.Analyzer,
+		hotalloc.Analyzer,
+		lockorder.Analyzer,
 		lockscope.Analyzer,
+		nilness.Analyzer,
 		regversion.Analyzer,
 		shadow.Analyzer,
 		tierorder.Analyzer,

@@ -1,0 +1,196 @@
+package flow
+
+// The call-graph builder. aarcvet runs one package at a time under the
+// go vet protocol, so the graph is per-package: nodes are this
+// package's function declarations, edges are the statically resolvable
+// calls they make — including calls into other packages, which become
+// leaf nodes carrying only a name. Cross-package closure happens in
+// the analyzers, which export per-function summaries as unitchecker
+// facts and splice the imported packages' graphs in by name.
+//
+// Function-literal bodies are attributed to the enclosing declaration:
+// a goroutine or callback launched inside a method acquires locks and
+// allocates on behalf of that method, and the fact granularity (one
+// summary per declared function) follows the call sites an importing
+// package can actually name.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// A Node is one declared function or method and the calls beneath it.
+type Node struct {
+	// Func is the declared object; nil for external callees known only
+	// by name.
+	Func *types.Func
+	// Decl is the declaration; nil for package "init" bodies collapsed
+	// into the synthetic init node and for external callees.
+	Decl *ast.FuncDecl
+	// Calls are the resolved call sites in body order (function-literal
+	// bodies inlined in source order).
+	Calls []Call
+}
+
+// A Call is one statically resolved call site.
+type Call struct {
+	// Callee is the target's full name, as FullName produces it.
+	Callee string
+	// Fn is the target object when the call stays resolvable in this
+	// package's type information (always non-nil; "statically
+	// resolved" is the condition for the edge existing at all).
+	Fn *types.Func
+	// Site is the call expression.
+	Site *ast.CallExpr
+	// InGo is true when the call executes on a new goroutine spawned
+	// within the caller (directly via `go`, or inside a function
+	// literal that a `go` statement launches).
+	InGo bool
+}
+
+// A CallGraph maps full function names to their nodes.
+type CallGraph struct {
+	Nodes map[string]*Node
+}
+
+// FullName names a function for cross-package matching:
+// "pkgpath.Func" for package functions, "pkgpath.(Recv).Method" for
+// methods (pointer stars dropped, so value and pointer receivers of
+// one type collide deliberately — lock and alloc summaries do not
+// care which receiver form the callee declared).
+func FullName(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg + ".(" + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return pkg + "." + fn.Name()
+}
+
+// BuildCallGraph walks the package's declarations and resolves every
+// static call. info needs Uses and Defs populated.
+func BuildCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	g := &CallGraph{Nodes: map[string]*Node{}}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			node := &Node{Func: fn, Decl: fd}
+			collectCalls(fd.Body, info, false, &node.Calls)
+			g.Nodes[FullName(fn)] = node
+		}
+	}
+	return g
+}
+
+// collectCalls gathers resolved call sites under n, descending into
+// function literals (their goroutine-ness compounds: a literal run by
+// `go` marks everything inside it InGo).
+func collectCalls(n ast.Node, info *types.Info, inGo bool, out *[]Call) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.GoStmt:
+			// The spawned call and anything in a spawned literal is on
+			// another goroutine.
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				collectCalls(lit.Body, info, true, out)
+				for _, arg := range x.Call.Args {
+					collectCalls(arg, info, inGo, out)
+				}
+				return false
+			}
+			if fn := funcOf(info, x.Call); fn != nil {
+				*out = append(*out, Call{Callee: FullName(fn), Fn: fn, Site: x.Call, InGo: true})
+			}
+			for _, arg := range x.Call.Args {
+				collectCalls(arg, info, inGo, out)
+			}
+			return false
+		case *ast.FuncLit:
+			collectCalls(x.Body, info, inGo, out)
+			return false
+		case *ast.CallExpr:
+			if fn := funcOf(info, x); fn != nil {
+				*out = append(*out, Call{Callee: FullName(fn), Fn: fn, Site: x, InGo: inGo})
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// funcOf resolves the called function or method, seeing through
+// parentheses; nil for func values, conversions, and builtins.
+// (Duplicated from package analysis to keep flow importable on its
+// own; the logic is four lines.)
+func funcOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// Reachable returns the set of full names reachable from the given
+// roots through this package's nodes, including the roots and every
+// external leaf name encountered. extern, when non-nil, extends the
+// walk across package boundaries: it maps an external full name to
+// that function's own callees (from imported facts).
+func (g *CallGraph) Reachable(roots []string, extern func(string) []string) map[string]bool {
+	seen := map[string]bool{}
+	stack := append([]string(nil), roots...)
+	for len(stack) > 0 {
+		name := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if node := g.Nodes[name]; node != nil {
+			for _, c := range node.Calls {
+				stack = append(stack, c.Callee)
+			}
+			continue
+		}
+		if extern != nil {
+			stack = append(stack, extern(name)...)
+		}
+	}
+	return seen
+}
+
+// SortedNames returns the graph's node names in lexical order, for
+// deterministic iteration.
+func (g *CallGraph) SortedNames() []string {
+	names := make([]string, 0, len(g.Nodes))
+	for name := range g.Nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

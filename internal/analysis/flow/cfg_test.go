@@ -1,0 +1,314 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as the body of func f() { ... } and returns its
+// block statement.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// golden CFG tests: every statement shape the builder distinguishes,
+// rendered through Graph.String and compared verbatim. The format is
+// "<index> <kind> [stmts] if <cond> -> succs".
+func TestCFGGolden(t *testing.T) {
+	tests := []struct {
+		name, src, want string
+	}{
+		{
+			name: "straightline",
+			src:  "x := 1; y := x",
+			want: `
+0 entry [x := 1; y := x] -> 1
+1 exit
+`,
+		},
+		{
+			name: "if",
+			src: `x := 1
+if x > 0 {
+	x = 2
+}
+x = 3`,
+			want: `
+0 entry [x := 1] if x > 0 -> 2 3
+1 exit
+2 if.then [x = 2] -> 3
+3 if.done [x = 3] -> 1
+`,
+		},
+		{
+			name: "if-else",
+			src: `if c() {
+	a()
+} else {
+	b()
+}`,
+			want: `
+0 entry if c() -> 2 4
+1 exit
+2 if.then [a()] -> 3
+3 if.done -> 1
+4 if.else [b()] -> 3
+`,
+		},
+		{
+			name: "for",
+			src: `for i := 0; i < 10; i++ {
+	use(i)
+}
+done()`,
+			want: `
+0 entry [i := 0] -> 2
+1 exit
+2 for.head if i < 10 -> 3 4
+3 for.body [use(i)] -> 5
+4 for.done [done()] -> 1
+5 for.post [i++] -> 2
+`,
+		},
+		{
+			// continue must bypass the switch's nil continue placeholder
+			// and target the loop head (regression: this used to wire a
+			// nil successor and crash Preds).
+			name: "continue-inside-switch",
+			src: `for {
+	switch pick() {
+	case 1:
+		continue
+	case 2:
+		work()
+	}
+	work()
+}`,
+			want: `
+0 entry -> 2
+1 exit
+2 for.head -> 3
+3 for.body [pick()] -> 6 7 5
+4 for.done -> 1
+5 switch.done [work()] -> 2
+6 switch.case [continue] -> 2
+7 switch.case [work()] -> 5
+`,
+		},
+		{
+			name: "for-break-continue",
+			src: `for {
+	if stop() {
+		break
+	}
+	if skip() {
+		continue
+	}
+	work()
+}`,
+			want: `
+0 entry -> 2
+1 exit
+2 for.head -> 3
+3 for.body if stop() -> 5 6
+4 for.done -> 1
+5 if.then [break] -> 4
+6 if.done if skip() -> 7 8
+7 if.then [continue] -> 2
+8 if.done [work()] -> 2
+`,
+		},
+		{
+			name: "range",
+			src: `for _, v := range xs {
+	use(v)
+}`,
+			want: `
+0 entry -> 2
+1 exit
+2 range.head [for _, v := range xs { use(v) }] -> 3 4
+3 range.body [use(v)] -> 2
+4 range.done -> 1
+`,
+		},
+		{
+			name: "switch",
+			src: `switch x() {
+case 1:
+	a()
+case 2:
+	b()
+	fallthrough
+case 3:
+	c()
+default:
+	d()
+}`,
+			want: `
+0 entry [x()] -> 3 4 5 6
+1 exit
+2 switch.done -> 1
+3 switch.case [a()] -> 2
+4 switch.case [b(); fallthrough] -> 5
+5 switch.case [c()] -> 2
+6 switch.case [d()] -> 2
+`,
+		},
+		{
+			name: "switch-no-default",
+			src: `switch x() {
+case 1:
+	a()
+}`,
+			want: `
+0 entry [x()] -> 3 2
+1 exit
+2 switch.done -> 1
+3 switch.case [a()] -> 2
+`,
+		},
+		{
+			name: "select",
+			src: `select {
+case v := <-ch:
+	use(v)
+case out <- 1:
+	sent()
+default:
+	idle()
+}`,
+			want: `
+0 entry -> 3 4 5
+1 exit
+2 select.done -> 1
+3 select.case [v := <-ch; use(v)] -> 2
+4 select.case [out <- 1; sent()] -> 2
+5 select.case [idle()] -> 2
+`,
+		},
+		{
+			name: "defer-and-return",
+			src: `defer cleanup()
+if bad() {
+	return
+}
+work()`,
+			want: `
+0 entry [defer cleanup()] if bad() -> 2 3
+1 exit
+2 if.then [return] -> 1
+3 if.done [work()] -> 1
+`,
+		},
+		{
+			name: "panic",
+			src: `if bad() {
+	panic("no")
+}
+work()`,
+			want: `
+0 entry if bad() -> 2 3
+1 exit
+2 if.then [panic("no")] -> 1
+3 if.done [work()] -> 1
+`,
+		},
+		{
+			name: "labeled-break",
+			src: `outer:
+for {
+	for {
+		if done() {
+			break outer
+		}
+	}
+}
+end()`,
+			want: `
+0 entry -> 2
+1 exit
+2 label.outer -> 3
+3 for.head -> 4
+4 for.body -> 6
+5 for.done [end()] -> 1
+6 for.head -> 7
+7 for.body if done() -> 9 10
+8 for.done -> 3
+9 if.then [break outer] -> 5
+10 if.done -> 6
+`,
+		},
+		{
+			name: "goto",
+			src: `if bad() {
+	goto fail
+}
+work()
+return
+fail:
+cleanup()`,
+			want: `
+0 entry if bad() -> 2 3
+1 exit
+2 if.then [goto fail] -> 4
+3 if.done [work(); return] -> 1
+4 label.fail [cleanup()] -> 1
+`,
+		},
+		{
+			name: "dead-code-after-return",
+			src: `return
+unreached()`,
+			want: `
+0 entry [return] -> 1
+1 exit
+2 unreachable [unreached()] -> 1
+`,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := New(parseBody(t, tt.src))
+			got := strings.TrimSpace(g.String())
+			want := strings.TrimSpace(tt.want)
+			if got != want {
+				t.Errorf("CFG mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+func TestCFGNilBody(t *testing.T) {
+	g := New(nil)
+	if len(g.Blocks) != 2 {
+		t.Fatalf("nil body: got %d blocks, want 2", len(g.Blocks))
+	}
+	if len(g.Entry().Succs) != 1 || g.Entry().Succs[0] != g.Exit() {
+		t.Fatalf("nil body: entry not wired to exit: %s", g.String())
+	}
+}
+
+func TestCFGPreds(t *testing.T) {
+	g := New(parseBody(t, `if c() {
+	a()
+}`))
+	preds := g.Preds()
+	// if.done (index 3) has two predecessors: the header's false edge
+	// and the then-block.
+	if len(preds[3]) != 2 {
+		t.Fatalf("if.done preds = %d, want 2\n%s", len(preds[3]), g.String())
+	}
+	if len(preds[0]) != 0 {
+		t.Fatalf("entry has %d preds, want 0", len(preds[0]))
+	}
+}

@@ -1,0 +1,287 @@
+package flow
+
+// Def-use chains: reaching definitions computed on the dataflow
+// engine, folded into a per-use map. This is the "SSA-lite" part of
+// the IR — instead of renaming into SSA form, each identifier use is
+// linked to the set of definitions that may reach it, which is what
+// the analyzers actually consult.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A Def is one definition (assignment, declaration, or parameter
+// binding) of a variable.
+type Def struct {
+	Var *types.Var
+	// Stmt is the defining statement; nil for parameter/receiver
+	// definitions that reach from the function signature.
+	Stmt ast.Stmt
+	// Rhs is the defining expression when one is syntactically
+	// identifiable (x := e, x = e, var x = e); nil for parameters,
+	// multi-value unpacking, var-without-init, range bindings, ++/--.
+	Rhs ast.Expr
+	// Pos locates the definition.
+	Pos token.Pos
+}
+
+// Chains maps every variable use in the graph to the definitions that
+// may reach it, in definition-position order.
+type Chains map[*ast.Ident][]*Def
+
+// defSet is the reaching-definitions lattice element: a set of defs,
+// represented as a map for O(1) kill. Join is set union.
+type defSet map[*Def]bool
+
+type defLattice struct{}
+
+func (defLattice) Bottom() defSet { return nil }
+
+func (defLattice) Join(a, b defSet) defSet {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(defSet, len(a)+len(b))
+	for d := range a {
+		out[d] = true
+	}
+	for d := range b {
+		out[d] = true
+	}
+	return out
+}
+
+func (defLattice) Equal(a, b defSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for d := range a {
+		if !b[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildChains computes def-use chains for one function: g is the CFG
+// of its body, sig its signature (parameter and receiver defs; nil
+// ok), and info the package's type information (Defs/Uses must be
+// populated). Only variables declared inside the function (or in its
+// signature) are tracked; package-level and captured variables have
+// no chains.
+func BuildChains(g *Graph, sig *types.Signature, info *types.Info) Chains {
+	b := &chainBuilder{info: info, defsOf: map[*types.Var][]*Def{}}
+
+	entry := make(defSet)
+	if sig != nil {
+		addParam := func(v *types.Var) {
+			if v == nil || v.Name() == "" || v.Name() == "_" {
+				return
+			}
+			d := &Def{Var: v, Pos: v.Pos()}
+			b.defsOf[v] = append(b.defsOf[v], d)
+			entry[d] = true
+		}
+		if recv := sig.Recv(); recv != nil {
+			addParam(recv)
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			addParam(sig.Params().At(i))
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			addParam(sig.Results().At(i))
+		}
+	}
+
+	// Pre-scan every block so all defs exist (and get stable identity)
+	// before the fixpoint runs; perStmt caches each statement's defs.
+	perStmt := map[ast.Stmt][]*Def{}
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Stmts {
+			perStmt[s] = b.defsIn(s)
+		}
+	}
+
+	res := Analysis[defSet]{
+		Lattice: defLattice{},
+		Entry:   entry,
+		Transfer: func(blk *Block, in defSet) defSet {
+			cur := in
+			for _, s := range blk.Stmts {
+				cur = b.apply(cur, perStmt[s])
+			}
+			return cur
+		},
+	}.Forward(g)
+
+	// Second pass: resolve each use against the state reaching it,
+	// re-walking each block from its in-state.
+	chains := make(Chains)
+	for _, blk := range g.Blocks {
+		cur := res.In[blk.Index]
+		for _, s := range blk.Stmts {
+			b.uses(s, cur, chains)
+			cur = b.apply(cur, perStmt[s])
+		}
+		if blk.Cond != nil {
+			b.usesExpr(blk.Cond, cur, chains)
+		}
+	}
+	for _, defs := range chains {
+		sort.Slice(defs, func(i, j int) bool { return defs[i].Pos < defs[j].Pos })
+	}
+	return chains
+}
+
+type chainBuilder struct {
+	info   *types.Info
+	defsOf map[*types.Var][]*Def
+}
+
+// apply kills and gens the statement's definitions over the state.
+func (b *chainBuilder) apply(in defSet, defs []*Def) defSet {
+	if len(defs) == 0 {
+		return in
+	}
+	out := make(defSet, len(in)+len(defs))
+	for d := range in {
+		out[d] = true
+	}
+	for _, d := range defs {
+		for old := range out {
+			if old.Var == d.Var {
+				delete(out, old)
+			}
+		}
+		out[d] = true
+	}
+	return out
+}
+
+// defsIn extracts the variable definitions a single statement makes.
+// Nested statements are not descended into: the CFG already split
+// compound statements into blocks, so each Stmts entry is simple
+// (assignments, decls, incdec, range headers).
+func (b *chainBuilder) defsIn(s ast.Stmt) []*Def {
+	var out []*Def
+	add := func(id *ast.Ident, rhs ast.Expr) {
+		v := b.varOf(id)
+		if v == nil {
+			return
+		}
+		d := &Def{Var: v, Stmt: s, Rhs: rhs, Pos: id.Pos()}
+		b.defsOf[v] = append(b.defsOf[v], d)
+		out = append(out, d)
+	}
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		// 1:1 assignments carry their Rhs; n:1 (multi-value) do not.
+		for i, lhs := range s.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var rhs ast.Expr
+			if len(s.Lhs) == len(s.Rhs) {
+				rhs = s.Rhs[i]
+			}
+			add(id, rhs)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					var rhs ast.Expr
+					if len(vs.Values) == len(vs.Names) {
+						rhs = vs.Values[i]
+					}
+					add(id, rhs)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := s.X.(*ast.Ident); ok {
+			add(id, nil)
+		}
+	case *ast.RangeStmt:
+		if id, ok := s.Key.(*ast.Ident); ok {
+			add(id, nil)
+		}
+		if id, ok := s.Value.(*ast.Ident); ok {
+			add(id, nil)
+		}
+	}
+	return out
+}
+
+// varOf resolves an identifier to the local variable it defines or
+// assigns, nil for blanks, non-variables, and package-level objects.
+func (b *chainBuilder) varOf(id *ast.Ident) *types.Var {
+	if id.Name == "_" {
+		return nil
+	}
+	obj := b.info.Defs[id]
+	if obj == nil {
+		obj = b.info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Parent() == v.Pkg().Scope() {
+		return nil // package-level
+	}
+	return v
+}
+
+// uses records every identifier use in s against the current state.
+func (b *chainBuilder) uses(s ast.Stmt, cur defSet, chains Chains) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate CFG, separate chains
+		case *ast.Ident:
+			b.useIdent(n, cur, chains)
+		}
+		return true
+	})
+}
+
+func (b *chainBuilder) usesExpr(e ast.Expr, cur defSet, chains Chains) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			b.useIdent(id, cur, chains)
+		}
+		_, isLit := n.(*ast.FuncLit)
+		return !isLit
+	})
+}
+
+func (b *chainBuilder) useIdent(id *ast.Ident, cur defSet, chains Chains) {
+	obj, ok := b.info.Uses[id].(*types.Var)
+	if !ok || b.defsOf[obj] == nil {
+		return
+	}
+	if _, seen := chains[id]; seen {
+		return
+	}
+	var reach []*Def
+	for d := range cur {
+		if d.Var == obj {
+			reach = append(reach, d)
+		}
+	}
+	if reach != nil {
+		chains[id] = reach
+	}
+}

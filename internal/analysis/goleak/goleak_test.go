@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"aarc/internal/analysis/analysistest"
+	"aarc/internal/analysis/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, "../testdata", goleak.Analyzer, "goleak/a")
+}

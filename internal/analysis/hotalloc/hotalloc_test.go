@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"aarc/internal/analysis/analysistest"
+	"aarc/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "../testdata", hotalloc.Analyzer, "hotalloc/dep", "hotalloc/svc")
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -14,16 +15,42 @@ import (
 //	//aarc:locked <reason>    — call under a mutex that owns the callee (lockscope)
 //	//aarc:errpath <reason>   — deliberate store write on an error path (tierorder)
 //	//aarc:canonical          — extra root for the determinism call graph (detcanon)
+//	//aarc:lockorder <reason> — blessed lock-acquisition edge (lockorder)
+//	//aarc:nilok <reason>     — dereference proven safe (nilness)
+//	//aarc:leaky <reason>     — goroutine allowed to outlive its spawner (goleak)
+//	//aarc:coldalloc <reason> — allocation allowed on a hot path (hotalloc)
+//	//aarc:hotpath            — root of a zero-alloc call tree (hotalloc)
 //
 // A marker waives the diagnostic on its own line or the line directly
 // below, so both end-of-line and line-above placement work. Every
 // waiver marker requires a non-empty reason: the argument is the
 // reviewable justification, and an empty one is itself a finding.
+//
+// KnownMarkers is the closed set of marker kinds; the aarcvet driver
+// reports any //aarc: comment outside it, so a typo like //aarc:lokced
+// is a finding instead of a silently dead waiver.
 type Marker struct {
 	Name string
 	Arg  string
 	Line int
 	File string
+	Pos  token.Pos
+}
+
+// KnownMarkers is the marker vocabulary. Adding an analyzer with a new
+// waiver kind means adding it here, or every use of the new marker is
+// itself reported.
+var KnownMarkers = map[string]bool{
+	"detached":  true,
+	"sorted":    true,
+	"locked":    true,
+	"errpath":   true,
+	"canonical": true,
+	"lockorder": true,
+	"nilok":     true,
+	"leaky":     true,
+	"coldalloc": true,
+	"hotpath":   true,
 }
 
 // MarkerIndex holds every //aarc: marker in a package, keyed by
@@ -52,6 +79,7 @@ func IndexMarkers(fset *token.FileSet, files []*ast.File) *MarkerIndex {
 					Arg:  strings.TrimSpace(arg),
 					Line: pos.Line,
 					File: pos.Filename,
+					Pos:  c.Pos(),
 				}
 				key := markerKey(pos.Filename, pos.Line)
 				idx.byLine[key] = append(idx.byLine[key], m)
@@ -78,6 +106,27 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(b[i:])
+}
+
+// Unknown returns every marker whose kind is outside KnownMarkers, in
+// file/line order. The aarcvet driver reports these so a typoed waiver
+// fails the build instead of waiving nothing.
+func (idx *MarkerIndex) Unknown() []Marker {
+	var out []Marker
+	for _, ms := range idx.byLine {
+		for _, m := range ms {
+			if !KnownMarkers[m.Name] {
+				out = append(out, m)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
 }
 
 // At returns the named marker covering pos: on the same line as pos or

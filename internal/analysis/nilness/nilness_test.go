@@ -1,0 +1,12 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"aarc/internal/analysis/analysistest"
+	"aarc/internal/analysis/nilness"
+)
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, "../testdata", nilness.Analyzer, "nilness/a")
+}

@@ -1,0 +1,126 @@
+// The goleak fixture: goroutines with no reachable stop signal are
+// flagged; context/channel/terminating shapes must stay silent.
+package a
+
+import "context"
+
+func work()   {}
+func use(int) {}
+
+// bareSpinner is the classic leak: an infinite loop nobody can stop.
+func bareSpinner() {
+	go func() { // want `no reachable stop signal`
+		for {
+			work()
+		}
+	}()
+}
+
+// ctxSelect is the idiomatic stoppable loop.
+func ctxSelect(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// doneChannel stops when the channel closes.
+func doneChannel(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// rangeOverChannel terminates when the producer closes ch.
+func rangeOverChannel(ch chan int) {
+	go func() {
+		for v := range ch {
+			use(v)
+		}
+	}()
+}
+
+// straightLine runs off its end: no loop, terminates by itself.
+func straightLine() {
+	go func() {
+		work()
+		work()
+	}()
+}
+
+// namedWithCtx: the spawn site hands a context to the callee.
+func namedWithCtx(ctx context.Context) {
+	go loop(ctx)
+}
+
+func loop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// namedLeak spawns an in-package function whose body provably spins.
+func namedLeak() {
+	go spin() // want `no reachable stop signal`
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+// delegated loops but the helper it calls blocks on a channel — the
+// one-hop expansion must see through it.
+func delegated(done chan struct{}) {
+	d := drainer{done: done}
+	go func() {
+		for {
+			if d.step() {
+				return
+			}
+		}
+	}()
+}
+
+type drainer struct{ done chan struct{} }
+
+func (d drainer) step() bool {
+	select {
+	case <-d.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// waived is a deliberate fire-and-forget with a reviewed reason.
+func waived() {
+	//aarc:leaky process-lifetime metrics pump, killed with the process
+	go spin()
+}
+
+// emptyReasonWaiver still fails: a waiver without a reason is a
+// finding.
+func emptyReasonWaiver() {
+	//aarc:leaky
+	go spin() // want `needs a reason`
+}

@@ -1,0 +1,143 @@
+// The nilness fixture: each guaranteed-nil misuse the analyzer must
+// catch is paired with a near-miss it must not flag.
+package a
+
+type T struct{ x int }
+
+func use(int)  {}
+func sink(any) {}
+func fill(m *map[string]int) {
+	*m = map[string]int{}
+}
+
+// derefInNilBranch dereferences inside the branch that just proved the
+// pointer nil.
+func derefInNilBranch(p *int) int {
+	if p == nil {
+		return *p // want `nil dereference of p`
+	}
+	return *p // refined non-nil here: no flag
+}
+
+// checkedEarlyReturn is the idiomatic guard: no flag after it.
+func checkedEarlyReturn(p *int) int {
+	if p == nil {
+		return 0
+	}
+	return *p
+}
+
+// zeroValuePointer dereferences a declared-but-never-assigned pointer.
+func zeroValuePointer() int {
+	var p *int
+	return *p // want `nil dereference of p`
+}
+
+// selectorOnNil reads a field through a provably nil struct pointer.
+func selectorOnNil() int {
+	var t *T
+	return t.x // want `nil dereference of t.x`
+}
+
+// assignedBeforeUse is the near-miss: the zero value is overwritten on
+// every path before the dereference.
+func assignedBeforeUse(v int) int {
+	var p *int
+	p = &v
+	return *p
+}
+
+// nilMapWrite writes into a map that is still its nil zero value.
+func nilMapWrite() {
+	var m map[string]int
+	m["k"] = 1 // want `write to nil map m`
+}
+
+// madeMapWrite is fine: make gives a non-nil map.
+func madeMapWrite() {
+	m := make(map[string]int)
+	m["k"] = 1
+}
+
+// nilMapRead is legal Go (yields the zero value) and must not be
+// flagged.
+func nilMapRead() int {
+	var m map[string]int
+	return m["k"]
+}
+
+// nilFuncCall calls through a nil function value.
+func nilFuncCall() {
+	var f func()
+	f() // want `call of nil function f`
+}
+
+// guardedFuncCall is the near-miss.
+func guardedFuncCall(f func()) {
+	if f != nil {
+		f()
+	}
+}
+
+// nilSliceIndex indexes a nil slice (len 0: guaranteed panic).
+func nilSliceIndex() int {
+	var s []int
+	return s[0] // want `index of nil slice s`
+}
+
+// appendToNilSlice is legal and must not be flagged.
+func appendToNilSlice() []int {
+	var s []int
+	return append(s, 1)
+}
+
+// escapedMap: the address of m escapes to a function that initializes
+// it, so the analysis must stop tracking it.
+func escapedMap() {
+	var m map[string]int
+	fill(&m)
+	m["k"] = 1 // no flag: &m escaped
+}
+
+// capturedPointer: a closure may write p before the dereference runs.
+func capturedPointer() int {
+	var p *int
+	set := func() { v := 1; p = &v }
+	set()
+	return *p // no flag: captured by the literal
+}
+
+// branchMerge: p is nil on one path and non-nil on the other; the
+// merged state is unknown and must stay silent.
+func branchMerge(c bool, v int) int {
+	var p *int
+	if c {
+		p = &v
+	}
+	if p != nil {
+		return *p
+	}
+	return 0
+}
+
+// loopRefine: the nil check inside the loop re-establishes safety on
+// every iteration.
+func loopRefine(ps []*int) int {
+	total := 0
+	for _, p := range ps {
+		if p == nil {
+			continue
+		}
+		total += *p
+	}
+	return total
+}
+
+// waived documents a deliberate crash (drills) with a reason.
+func waived(p *int) int {
+	if p == nil {
+		//aarc:nilok deliberate panic: exercised by the recovery drill
+		return *p
+	}
+	return 0
+}

@@ -19,9 +19,24 @@
 //     unitchecker uses.
 //
 // Diagnostics print to stderr as file:line:col: message and the tool
-// exits 2, which cmd/go reports per package. VetxOnly passes (cmd/go
-// runs those over dependencies to propagate facts) are satisfied by
-// writing an empty facts file: no analyzer in this suite exports facts.
+// exits 2, which cmd/go reports per package.
+//
+// # Facts
+//
+// Analyzers with Facts set export one JSON summary per package; the
+// vetx files cmd/go threads between vet actions carry them. A vetx
+// file is JSON of the form
+//
+//	{"<analyzer>": {"<pkgpath>": <fact>, ...}, ...}
+//
+// and each package's vetx merges its direct dependencies' facts with
+// its own, so reading the direct imports' vetx files (the PackageVetx
+// table) yields the transitive closure — the same scheme x/tools
+// uses with gob. VetxOnly passes over in-module dependencies do a
+// full parse+typecheck and run just the fact analyzers with
+// diagnostics discarded; VetxOnly passes over the standard library
+// only forward merged dependency facts, since no project analyzer
+// mines facts from the stdlib.
 package unitchecker
 
 import (
@@ -127,6 +142,94 @@ func Main(analyzers ...*analysis.Analyzer) {
 	os.Exit(Run(args[0], run, *jsonOut, os.Stdout, os.Stderr))
 }
 
+// factMap is the decoded form of a vetx file: analyzer name →
+// package path → that analyzer's summary of that package.
+type factMap = map[string]map[string]json.RawMessage
+
+// readDepFacts merges the vetx files of the package's direct imports.
+// Empty and legacy (zero-byte) files contribute nothing.
+func readDepFacts(cfg *Config) factMap {
+	merged := factMap{}
+	for _, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		var fm factMap
+		if json.Unmarshal(data, &fm) != nil {
+			continue
+		}
+		for analyzer, perPkg := range fm {
+			dst := merged[analyzer]
+			if dst == nil {
+				dst = map[string]json.RawMessage{}
+				merged[analyzer] = dst
+			}
+			for path, fact := range perPkg {
+				dst[path] = fact
+			}
+		}
+	}
+	return merged
+}
+
+func writeVetx(cfg *Config, facts factMap) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	data, err := json.Marshal(facts)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.VetxOutput, data, 0o666)
+}
+
+// parseFiles parses the package's Go files with comments (markers and
+// facts both need them).
+func parseFiles(fset *token.FileSet, cfg *Config) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// runFacts runs the fact analyzers over an already-typechecked package
+// with diagnostics discarded, merging each one's exported summary into
+// facts under the package's import path.
+func runFacts(factAnalyzers []*analysis.Analyzer, facts factMap, cfg *Config,
+	fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) {
+	for _, a := range factAnalyzers {
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			Dir:        cfg.Dir,
+			ModuleRoot: findModuleRoot(cfg.Dir),
+			Report:     func(analysis.Diagnostic) {},
+			Facts:      facts[a.Name],
+		}
+		name := a.Name
+		pass.ExportFact = func(v any) {
+			raw, err := json.Marshal(v)
+			if err != nil {
+				return
+			}
+			if facts[name] == nil {
+				facts[name] = map[string]json.RawMessage{}
+			}
+			facts[name][cfg.ImportPath] = raw
+		}
+		_ = a.Run(pass) // fact passes are best-effort; the real run reports errors
+	}
+}
+
 // Run vets the package described by cfgFile and returns the process
 // exit code: 0 clean, 1 operational error, 2 diagnostics found.
 func Run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool, stdout, stderr io.Writer) int {
@@ -136,30 +239,40 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool, stdout, s
 		return 1
 	}
 
-	// Facts pass over a dependency: nothing to compute, but the output
-	// file must exist for cmd/go's cache.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+	var factAnalyzers []*analysis.Analyzer
+	for _, a := range analyzers {
+		if a.Facts {
+			factAnalyzers = append(factAnalyzers, a)
+		}
+	}
+	facts := readDepFacts(cfg)
+
+	// Facts-only pass over a dependency: compute in-module facts (the
+	// stdlib yields none), forward the merged map, skip diagnostics.
+	if cfg.VetxOnly {
+		if len(factAnalyzers) > 0 && inModule(cfg) {
+			fset := token.NewFileSet()
+			if files, err := parseFiles(fset, cfg); err == nil {
+				if pkg, info, err := typecheck(fset, cfg, files); err == nil {
+					runFacts(factAnalyzers, facts, cfg, fset, files, pkg, info)
+				}
+			}
+		}
+		if err := writeVetx(cfg, facts); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
 		return 0
 	}
 
 	fset := token.NewFileSet()
-	var files []*ast.File
-	for _, name := range cfg.GoFiles {
-		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			if cfg.SucceedOnTypecheckFailure {
-				return 0
-			}
-			fmt.Fprintln(stderr, err)
-			return 1
+	files, err := parseFiles(fset, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
 		}
-		files = append(files, f)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
 	pkg, info, err := typecheck(fset, cfg, files)
@@ -191,10 +304,38 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool, stdout, s
 		pass.Report = func(d analysis.Diagnostic) {
 			findings = append(findings, finding{name, d})
 		}
+		if a.Facts {
+			pass.Facts = facts[a.Name]
+			pass.ExportFact = func(v any) {
+				raw, err := json.Marshal(v)
+				if err != nil {
+					return
+				}
+				if facts[name] == nil {
+					facts[name] = map[string]json.RawMessage{}
+				}
+				facts[name][cfg.ImportPath] = raw
+			}
+		}
 		if err := a.Run(pass); err != nil {
 			fmt.Fprintf(stderr, "%s: %s: %v\n", cfg.ImportPath, a.Name, err)
 			exit = 1
 		}
+	}
+
+	// Driver-level marker hygiene: an //aarc: comment of unknown kind
+	// is a finding — a typoed waiver must fail loudly, not silently
+	// waive nothing.
+	for _, m := range analysis.IndexMarkers(fset, files).Unknown() {
+		findings = append(findings, finding{"markers", analysis.Diagnostic{
+			Pos:     m.Pos,
+			Message: fmt.Sprintf("unknown marker //aarc:%s (known kinds: detached, sorted, locked, errpath, canonical, lockorder, nilok, leaky, coldalloc, hotpath)", m.Name),
+		}})
+	}
+
+	if err := writeVetx(cfg, facts); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
 	sort.SliceStable(findings, func(i, j int) bool {
@@ -287,6 +428,44 @@ func langVersion(v string) string {
 		return v
 	}
 	return parts[0] + "." + parts[1]
+}
+
+// inModule reports whether the package described by cfg belongs to
+// the module being vetted, i.e. its import path sits under the module
+// path declared by the go.mod above its source directory. Standard
+// library packages resolve to GOROOT/src's `module std`, whose import
+// paths do not carry the module prefix, so they are excluded — which
+// is exactly what the facts pass wants: computing lock-order or
+// allocation facts for all of net/http's dependency cone would
+// multiply vet time by orders of magnitude for findings we could not
+// act on anyway. (cfg.Standard cannot answer this: it lists the
+// package's standard *imports*, not whether the package itself is
+// standard.)
+func inModule(cfg *Config) bool {
+	root := findModuleRoot(cfg.Dir)
+	if root == "" {
+		return false
+	}
+	path := modulePath(filepath.Join(root, "go.mod"))
+	if path == "" || path == "std" || path == "cmd" {
+		return false
+	}
+	return cfg.ImportPath == path || strings.HasPrefix(cfg.ImportPath, path+"/")
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(file string) string {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
 }
 
 func findModuleRoot(dir string) string {

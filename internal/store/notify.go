@@ -31,7 +31,10 @@ func NewNotify(inner Store, fn func(op Op, key string)) *Notify {
 	return &Notify{inner: inner, fn: fn}
 }
 
-// Get passes through to the wrapped store.
+// Get passes through to the wrapped store. On the serving fast path;
+// the pass-through itself must stay alloc-free.
+//
+//aarc:hotpath
 func (n *Notify) Get(key string) (Entry, bool, error) { return n.inner.Get(key) }
 
 // Put writes through and notifies on success.

@@ -2,11 +2,16 @@
 # lint.sh — the repo's static-analysis gate.
 #
 # Builds aarcvet (the project's go/analysis suite: detcanon, ctxflow,
-# lockscope, tierorder, regversion, shadow) and runs it over the whole
+# lockscope, tierorder, regversion, shadow, plus the flow-sensitive
+# lockorder, nilness, goleak and hotalloc) and runs it over the whole
 # tree through the `go vet -vettool` protocol, alongside stock go vet
 # and a gofmt check. Any finding fails; there is no baseline file —
 # designed exceptions are waived in-source with //aarc: markers, so the
 # tree is always clean or red, never "known dirty".
+#
+# The binary lands in bin/aarcvet (gitignored) so CI can cache it
+# between the lint and test jobs; `go build` is itself incremental, so
+# a warm cache makes the build step free locally too.
 #
 # Usage: scripts/lint.sh
 set -euo pipefail
@@ -29,8 +34,7 @@ if ! go vet ./...; then
 fi
 
 echo "== aarcvet =="
-vettool=$(mktemp -d)/aarcvet
-trap 'rm -rf "$(dirname "$vettool")"' EXIT
+vettool="$PWD/bin/aarcvet"
 go build -o "$vettool" ./cmd/aarcvet
 if ! go vet -vettool="$vettool" ./...; then
   fail=1
